@@ -1,0 +1,1 @@
+bench/common.ml: Cdex Circuit Format Hashtbl Layout List Opc Printf Stats Timing_opc

@@ -1,0 +1,1 @@
+bench/exp_ab.ml: Common Format Geometry Layout List Litho Printf Timing_opc

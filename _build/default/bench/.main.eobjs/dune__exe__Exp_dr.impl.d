@@ -1,0 +1,1 @@
+bench/exp_dr.ml: Common Timing_opc

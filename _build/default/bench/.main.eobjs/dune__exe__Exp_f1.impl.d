@@ -1,0 +1,1 @@
+bench/exp_f1.ml: Circuit Common List Printf Sta Timing_opc

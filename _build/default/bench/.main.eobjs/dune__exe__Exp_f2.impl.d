@@ -1,0 +1,1 @@
+bench/exp_f2.ml: Cdex Common Format Hashtbl List Litho Option Stats Timing_opc

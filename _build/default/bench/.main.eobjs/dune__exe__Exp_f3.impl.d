@@ -1,0 +1,1 @@
+bench/exp_f3.ml: Circuit Common Device Layout List Printf Timing_opc

@@ -1,0 +1,1 @@
+bench/exp_f4.ml: Common Device List Printf Timing_opc

@@ -1,0 +1,1 @@
+bench/exp_f5.ml: Common Format Layout List Opc Printf Sta Timing_opc

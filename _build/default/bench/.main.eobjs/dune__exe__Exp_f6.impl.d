@@ -1,0 +1,1 @@
+bench/exp_f6.ml: Cdex Common Format List Printf Sta Stats Timing_opc

@@ -1,0 +1,1 @@
+bench/exp_hs.ml: Common Format Hotspot Int Layout List Litho Opc Printf Timing_opc

@@ -1,0 +1,1 @@
+bench/exp_rt.ml: Circuit Common Layout List Printf Route Sta Timing_opc

@@ -1,0 +1,1 @@
+bench/exp_seq.ml: Circuit Common Format List Printf Sta Stats Timing_opc

@@ -1,0 +1,1 @@
+bench/exp_t1.ml: Array Cdex Common Float Layout List Litho Printf Stats Timing_opc

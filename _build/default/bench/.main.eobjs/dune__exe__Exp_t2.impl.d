@@ -1,0 +1,1 @@
+bench/exp_t2.ml: Common Layout List Litho Opc Timing_opc

@@ -1,0 +1,1 @@
+bench/exp_t3.ml: Array Cdex Common List Litho Printf Stats Timing_opc

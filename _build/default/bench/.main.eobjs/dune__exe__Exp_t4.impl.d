@@ -1,0 +1,1 @@
+bench/exp_t4.ml: Circuit Common Format List Printf Sta Timing_opc

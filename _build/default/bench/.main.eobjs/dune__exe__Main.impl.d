@@ -1,0 +1,1 @@
+bench/main.ml: Array Common Exp_ab Exp_dr Exp_f1 Exp_f2 Exp_f3 Exp_f4 Exp_f5 Exp_f6 Exp_hs Exp_rt Exp_seq Exp_t1 Exp_t2 Exp_t3 Exp_t4 Format List Perf String Sys Unix

@@ -1,0 +1,1 @@
+bench/perf.ml: Analyze Bechamel Bechamel_notty Benchmark Cdex Circuit Device Format Geometry Instance Layout Lazy List Litho Measure Notty_unix Opc Sta Staged Stats Test Time Toolkit

@@ -1,0 +1,59 @@
+(* AB — ablation: does the optical-model complexity matter?  DESIGN.md
+   commits to showing the experiment *shapes* are stable between the
+   3-kernel stack (with proximity lobe and flare) and a single-Gaussian
+   model.  Expect: both print dense-on-target after calibration; the
+   single kernel has (almost) no iso-dense bias or context signature,
+   which is exactly the effect the extraction flow exists to capture —
+   so the full stack is the one that reproduces the paper. *)
+
+module G = Geometry
+
+let line_cd model condition polygons x =
+  let window = G.Rect.make ~lx:(x - 500) ~ly:1500 ~hx:(x + 500) ~hy:2500 in
+  let img = Litho.Aerial.simulate model condition ~window polygons in
+  Litho.Metrology.cd_horizontal img
+    ~threshold:(Litho.Model.printed_threshold model condition)
+    ~y:2000.0 ~x_center:(float_of_int x) ~search:250.0
+
+let fmt = function Some cd -> Printf.sprintf "%.2f" cd | None -> "n/a"
+
+let run () =
+  Common.section "AB: optical-model ablation (3 kernels vs 1)";
+  let mk kernels = Litho.Aerial.calibrate (Litho.Model.create ~kernels ()) Common.tech in
+  let models =
+    [ ("3-kernel", mk Litho.Model.default_kernels);
+      ("1-kernel", mk Litho.Model.single_kernel) ]
+  in
+  let l = Common.tech.Layout.Tech.gate_length in
+  let array_at pitch =
+    List.init 7 (fun i ->
+        G.Polygon.of_rect
+          (G.Rect.make ~lx:(((i - 3) * pitch) - (l / 2)) ~ly:0
+             ~hx:(((i - 3) * pitch) + (l / 2)) ~hy:4000))
+  in
+  let rows =
+    List.concat_map
+      (fun (name, model) ->
+        List.map
+          (fun pitch ->
+            let dense = array_at pitch in
+            let nominal = line_cd model Litho.Condition.nominal dense 0 in
+            let overdose =
+              line_cd model (Litho.Condition.make ~dose:1.04 ~defocus:0.0) dense 0
+            in
+            let defocus =
+              line_cd model (Litho.Condition.make ~dose:1.0 ~defocus:120.0) dense 0
+            in
+            [ name; string_of_int pitch; fmt nominal; fmt overdose; fmt defocus ])
+          [ 350; 700; 2800 ])
+      models
+  in
+  Timing_opc.Report.table Common.ppf
+    ~title:"printed CD (nm) of a 90nm line by model, pitch and condition"
+    ~header:[ "model"; "pitch"; "nominal"; "dose 1.04"; "defocus 120" ]
+    rows;
+  Format.printf
+    "@.Reading: both models calibrate dense-on-target and keep the dose/defocus@.\
+     response; only the 3-kernel stack produces the through-pitch (iso-dense)@.\
+     signature that makes per-gate extraction informative.  The reproduction's@.\
+     conclusions do not hinge on the extra kernels' exact weights.@."

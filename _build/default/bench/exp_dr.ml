@@ -1,0 +1,22 @@
+(* DR — design-rule exploration (the authors' DAC'04 companion
+   methodology): density vs printability when individual poly rules
+   are pushed.  Expected shape: tighter pitch buys area and costs EPE /
+   CD control; shorter endcaps are free area until line-end pullback
+   reaches the channel. *)
+
+let run () =
+  Common.section "DR: manufacturability-driven design-rule exploration";
+  let config = Common.config () in
+  let block = if !Common.quick then 12 else 30 in
+  let pitch_values = if !Common.quick then [ 320; 350 ] else [ 310; 330; 350; 400; 450 ] in
+  let endcap_values = if !Common.quick then [ 80; 120 ] else [ 70; 90; 120; 160 ] in
+  let pitch =
+    Timing_opc.Rule_explore.sweep config Timing_opc.Rule_explore.Poly_pitch
+      ~values:pitch_values ~block
+  in
+  Timing_opc.Rule_explore.pp_table Common.ppf pitch;
+  let endcap =
+    Timing_opc.Rule_explore.sweep config Timing_opc.Rule_explore.Poly_endcap
+      ~values:endcap_values ~block
+  in
+  Timing_opc.Rule_explore.pp_table Common.ppf endcap

@@ -1,0 +1,53 @@
+(* F1 — Speed-path criticality reordering between the drawn and
+   post-OPC views.  Paper claim: "a significant reordering of speed
+   path criticality". *)
+
+let run () =
+  Common.section "F1: speed-path reordering (drawn vs post-OPC)";
+  let rows =
+    List.filter_map
+      (fun (name, _) ->
+        let r = Common.flow_run name in
+        if List.length r.Timing_opc.Flow.drawn_sta.Sta.Timing.paths < 2 then None
+        else
+          let ro =
+            Timing_opc.Compare.path_reorder r.Timing_opc.Flow.drawn_sta
+              r.Timing_opc.Flow.post_opc_sta
+          in
+          Some
+            [ name;
+              string_of_int ro.Timing_opc.Compare.endpoints;
+              Printf.sprintf "%.3f" ro.Timing_opc.Compare.spearman;
+              Printf.sprintf "%.3f" ro.Timing_opc.Compare.kendall;
+              Timing_opc.Report.pct ro.Timing_opc.Compare.top10_overlap;
+              string_of_int ro.Timing_opc.Compare.max_rank_move;
+              string_of_bool ro.Timing_opc.Compare.leader_changed ])
+      (Common.benchmarks ())
+  in
+  Timing_opc.Report.table Common.ppf ~title:"endpoint criticality rank agreement"
+    ~header:[ "bench"; "endpoints"; "spearman"; "kendall"; "top10"; "maxMove"; "newLeader" ]
+    rows;
+  (* Detailed rank table for the largest benchmark. *)
+  let name, _ =
+    List.fold_left
+      (fun (bn, bs) (n, nl) ->
+        let s = Circuit.Netlist.num_gates nl in
+        if s > bs then (n, s) else (bn, bs))
+      ("", 0) (Common.benchmarks ())
+  in
+  let r = Common.flow_run name in
+  let rt =
+    Timing_opc.Compare.rank_table r.Timing_opc.Flow.drawn_sta
+      r.Timing_opc.Flow.post_opc_sta
+  in
+  let top =
+    List.filteri (fun i _ -> i < 10) rt
+    |> List.map (fun (ra, rb, aa, ab) ->
+           [ string_of_int ra; string_of_int rb;
+             Timing_opc.Report.ps aa; Timing_opc.Report.ps ab;
+             (if ra <> rb then Printf.sprintf "%+d" (ra - rb) else "=") ])
+  in
+  Timing_opc.Report.table Common.ppf
+    ~title:(Printf.sprintf "top-10 speed paths of %s: drawn rank vs post-OPC rank" name)
+    ~header:[ "rank_drawn"; "rank_post"; "arr_drawn"; "arr_post"; "move" ]
+    top

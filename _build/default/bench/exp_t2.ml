@@ -1,0 +1,55 @@
+(* T2 — Residual edge-placement error by correction style, plus the
+   fragment-length knob of model-based OPC.  Paper dependency: the
+   extraction flow exists because even converged OPC leaves residual
+   EPE; this table quantifies that residual. *)
+
+let run () =
+  Common.section "T2: residual EPE by OPC style";
+  let chip = Common.layout_block ~n:(if !Common.quick then 40 else 120) in
+  let m = Common.litho_model () in
+  let drawn = Layout.Chip.flatten_layer chip Layout.Layer.Poly in
+  let window =
+    match Layout.Chip.die chip with Some d -> d | None -> invalid_arg "empty chip"
+  in
+  let orc_config =
+    { (Opc.Orc.default_config Common.tech) with
+      Opc.Orc.conditions = [ Litho.Condition.nominal ];
+      epe_tolerance = 6.0 }
+  in
+  let verify mask =
+    Opc.Orc.verify m orc_config ~mask ~drawn ~window
+  in
+  let style_row name =
+    let mask, _ = Common.mask_for chip ~style_name:name in
+    let r = verify mask in
+    [ name;
+      string_of_int r.Opc.Orc.sites;
+      Timing_opc.Report.nm r.Opc.Orc.rms_epe;
+      Timing_opc.Report.nm r.Opc.Orc.max_epe;
+      string_of_int (List.length r.Opc.Orc.violations) ]
+  in
+  Timing_opc.Report.table Common.ppf ~title:"EPE at nominal, tolerance 6nm"
+    ~header:[ "opc"; "sites"; "rmsEPE"; "maxEPE"; "violations" ]
+    [ style_row "none"; style_row "rule"; style_row "model" ];
+  (* Fragment-length ablation for model OPC. *)
+  let c = Common.config () in
+  let frag_row max_len =
+    let opc_config =
+      { c.Timing_opc.Flow.opc_config with Opc.Model_opc.max_len }
+    in
+    let mask, stats =
+      Opc.Chip_opc.correct m (Opc.Chip_opc.Model opc_config) chip
+        ~tile:c.Timing_opc.Flow.tile
+    in
+    let r = verify mask in
+    [ string_of_int max_len;
+      string_of_int stats.Opc.Model_opc.sites;
+      Timing_opc.Report.nm stats.Opc.Model_opc.rms_epe;
+      Timing_opc.Report.nm r.Opc.Orc.rms_epe;
+      Timing_opc.Report.nm r.Opc.Orc.max_epe ]
+  in
+  let lens = if !Common.quick then [ 240 ] else [ 120; 160; 240; 320 ] in
+  Timing_opc.Report.table Common.ppf
+    ~title:"model OPC fragment-length ablation"
+    ~header:[ "frag_nm"; "ctrl_sites"; "rms@ctrl"; "rms@ORC"; "max@ORC" ]
+    (List.map frag_row lens)

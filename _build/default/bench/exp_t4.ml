@@ -1,0 +1,40 @@
+(* T4 — The headline timing comparison: drawn (NLDM sign-off) vs
+   corner model vs post-OPC extracted timing, per benchmark.  The
+   companion abstract reports a 36.4% worst-slack change and corner
+   pessimism/optimism; this table regenerates those rows. *)
+
+let run () =
+  Common.section "T4: drawn vs corner vs post-OPC timing";
+  let rows =
+    List.map
+      (fun (name, _) ->
+        let r = Common.flow_run name in
+        let drawn = r.Timing_opc.Flow.drawn_sta in
+        let post = r.Timing_opc.Flow.post_opc_sta in
+        let corners = Timing_opc.Flow.corner_views r ~spread:8.0 in
+        let corner n =
+          let _, t =
+            List.find (fun ((c : Sta.Corners.corner), _) -> c.Sta.Corners.name = n) corners
+          in
+          t
+        in
+        let delta = Timing_opc.Compare.slack_delta drawn post in
+        [ name;
+          string_of_int (Circuit.Netlist.num_gates r.Timing_opc.Flow.netlist);
+          Timing_opc.Report.ps r.Timing_opc.Flow.clock_period;
+          Timing_opc.Report.ps drawn.Sta.Timing.wns;
+          Timing_opc.Report.ps post.Sta.Timing.wns;
+          Printf.sprintf "%+.1f%%" (-.delta.Timing_opc.Compare.wns_change_pct);
+          Timing_opc.Report.ps (corner "slow").Sta.Timing.wns;
+          Timing_opc.Report.ps (corner "fast").Sta.Timing.wns ])
+      (Common.benchmarks ())
+  in
+  Timing_opc.Report.table Common.ppf
+    ~title:"worst slack by timing view (corner spread +-8nm)"
+    ~header:[ "bench"; "gates"; "clock"; "WNSdrawn"; "WNSpostOPC"; "dWNS%"; "WNSslow"; "WNSfast" ]
+    rows;
+  Format.printf
+    "@.Reading: dWNS%% is the worst-slack change when drawn CDs are replaced by@.\
+     extracted post-OPC CDs (paper reports 36.4%% on its full-chip testcase).@.\
+     The slow corner bounds every benchmark's post-OPC WNS (pessimism), while@.\
+     drawn sign-off misses the per-gate systematic shifts extraction sees.@."

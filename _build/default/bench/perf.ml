@@ -1,0 +1,86 @@
+(* Micro-benchmarks of the engines behind each experiment (Bechamel).
+   The paper's practicality claim is full-chip capability; these
+   measure per-kernel throughput: rasterised aerial simulation, region
+   booleans, OPC iteration, gate CD extraction, STA. *)
+
+open Bechamel
+open Toolkit
+module G = Geometry
+
+let tech = Layout.Tech.node90
+
+let model = lazy (Litho.Aerial.calibrate (Litho.Model.create ()) tech)
+
+let small_chip =
+  lazy
+    (let rng = Stats.Rng.create 7 in
+     Layout.Placer.random_block tech Layout.Placer.default_config rng ~n:8)
+
+let test_region_boolean =
+  let rects =
+    List.init 64 (fun i ->
+        G.Rect.make ~lx:(i * 37 mod 500) ~ly:(i * 91 mod 500)
+          ~hx:((i * 37 mod 500) + 60)
+          ~hy:((i * 91 mod 500) + 60))
+  in
+  Test.make ~name:"region_union_64rects" (Staged.stage (fun () -> G.Region.of_rects rects))
+
+let test_aerial =
+  Test.make ~name:"aerial_2x2um"@@ Staged.stage @@ fun () ->
+  let m = Lazy.force model in
+  let chip = Lazy.force small_chip in
+  let window = G.Rect.make ~lx:0 ~ly:0 ~hx:2000 ~hy:2000 in
+  let shapes = Layout.Chip.shapes_in chip Layout.Layer.Poly (G.Rect.inflate window m.Litho.Model.halo) in
+  ignore (Litho.Aerial.simulate m Litho.Condition.nominal ~window shapes)
+
+let test_opc_polygon =
+  Test.make ~name:"model_opc_one_line"@@ Staged.stage @@ fun () ->
+  let m = Lazy.force model in
+  let line = G.Polygon.of_rect (G.Rect.make ~lx:0 ~ly:0 ~hx:90 ~hy:1500) in
+  let cfg = { (Opc.Model_opc.default_config tech) with Opc.Model_opc.iterations = 3 } in
+  ignore (Opc.Model_opc.correct m cfg ~targets:[ line ] ~context:[])
+
+let test_extract =
+  Test.make ~name:"cd_extract_chip"@@ Staged.stage @@ fun () ->
+  let m = Lazy.force model in
+  let chip = Lazy.force small_chip in
+  ignore
+    (Cdex.Extract.extract m Litho.Condition.nominal
+       ~mask:(Cdex.Extract.drawn_source chip) ~gates:(Layout.Chip.gates chip)
+       ~slices:5 ())
+
+let test_sta =
+  let netlist = Circuit.Generator.multiplier ~bits:6 in
+  let env = Circuit.Delay_model.default_env tech in
+  let loads = Circuit.Loads.of_netlist env netlist in
+  let delay = Sta.Timing.model_delay env ~lengths_of:(fun _ -> None) in
+  Test.make ~name:"sta_mult6"@@ Staged.stage @@ fun () ->
+  ignore (Sta.Timing.analyze netlist ~loads ~delay ~clock_period:1000.0 ())
+
+let test_leff =
+  let profile = Device.Gate_profile.of_cds ~w:600.0 [ 84.0; 88.0; 90.0; 92.0; 95.0 ] in
+  Test.make ~name:"leff_reduce" (Staged.stage (fun () -> Device.Leff.reduce Device.Mosfet.nmos_90 profile))
+
+let tests =
+  [ test_region_boolean; test_leff; test_sta; test_aerial; test_opc_polygon; test_extract ]
+
+let () =
+  List.iter
+    (fun i -> Bechamel_notty.Unit.add i (Measure.unit i))
+    Instance.[ minor_allocated; major_allocated; monotonic_clock ]
+
+let run () =
+  Format.printf "@.######## PERF: engine micro-benchmarks (bechamel) ########@.";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 2.0) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"engines" tests) in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let results = Analyze.merge ols instances results in
+  let window = { Bechamel_notty.w = 100; h = 1 } in
+  let image =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window ~predictor:Measure.run
+      results
+  in
+  Notty_unix.output_image image;
+  print_newline ()

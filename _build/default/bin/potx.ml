@@ -1,0 +1,197 @@
+(* potx — post-OPC timing extraction, the command-line driver.
+
+     potx run --bench adder16 --opc model
+     potx cells
+     potx litho
+     potx drc --cells 40 --seed 7
+     potx bench --list                       (experiment names live in bench/main.exe) *)
+
+open Cmdliner
+
+let bench_names = [ "c17"; "adder16"; "mult8"; "rand_12x20"; "chains_24x10" ]
+
+let netlist_of_name seed name =
+  let rng = Stats.Rng.create seed in
+  match List.assoc_opt name (Circuit.Generator.benchmarks rng) with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "unknown benchmark %s (have: %s)" name
+                        (String.concat ", " bench_names))
+
+(* ---- run ---- *)
+
+let run_flow bench opc seed dose defocus spread report =
+  let base = Timing_opc.Flow.default_config () in
+  let opc_style =
+    match opc with
+    | "none" -> Timing_opc.Flow.No_opc
+    | "rule" -> Timing_opc.Flow.Rule_opc
+    | "model" -> Timing_opc.Flow.Model_opc
+    | s -> failwith ("unknown OPC style " ^ s)
+  in
+  let config =
+    { base with
+      Timing_opc.Flow.seed;
+      opc_style;
+      condition = Litho.Condition.make ~dose ~defocus }
+  in
+  let netlist = netlist_of_name seed bench in
+  Format.printf "flow: %s, OPC=%s, silicon %a, seed %d@." bench opc
+    Litho.Condition.pp config.Timing_opc.Flow.condition seed;
+  let r = Timing_opc.Flow.run config netlist in
+  Format.printf "%a@." Layout.Chip.pp r.Timing_opc.Flow.chip;
+  Format.printf "%a@." Opc.Model_opc.pp_stats r.Timing_opc.Flow.opc_stats;
+  let printed = List.filter (fun c -> c.Cdex.Gate_cd.printed) r.Timing_opc.Flow.cds in
+  Format.printf "gate dCD: %a@." Stats.Summary.pp
+    (Stats.Summary.of_list (List.map Cdex.Gate_cd.delta_cd printed));
+  Format.printf "drawn   : %a@." Sta.Timing.pp_summary r.Timing_opc.Flow.drawn_sta;
+  Format.printf "post-OPC: %a@." Sta.Timing.pp_summary r.Timing_opc.Flow.post_opc_sta;
+  Format.printf "delta   : %a@." Timing_opc.Compare.pp_slack_delta
+    (Timing_opc.Compare.slack_delta r.Timing_opc.Flow.drawn_sta r.Timing_opc.Flow.post_opc_sta);
+  Format.printf "reorder : %a@." Timing_opc.Compare.pp_reorder
+    (Timing_opc.Compare.path_reorder r.Timing_opc.Flow.drawn_sta r.Timing_opc.Flow.post_opc_sta);
+  List.iter
+    (fun ((c : Sta.Corners.corner), t) ->
+      Format.printf "corner %-18s: %a@."
+        (Format.asprintf "%a" Sta.Corners.pp c)
+        Sta.Timing.pp_summary t)
+    (Timing_opc.Flow.corner_views r ~spread);
+  Format.printf "leakage : drawn %.4f uA -> annotated %.4f uA@."
+    (Timing_opc.Flow.leakage r ~annotated:false)
+    (Timing_opc.Flow.leakage r ~annotated:true);
+  if report > 0 then begin
+    Format.printf "@.-- post-OPC timing paths --@.";
+    Sta.Path_report.write Format.std_formatter netlist r.Timing_opc.Flow.post_opc_sta
+      ~top:report
+  end
+
+let bench_arg =
+  Arg.(value & opt string "c17" & info [ "bench"; "b" ] ~doc:"Benchmark netlist name.")
+
+let opc_arg =
+  Arg.(value & opt string "model" & info [ "opc" ] ~doc:"OPC style: none, rule or model.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Placement/noise seed.")
+
+let dose_arg =
+  Arg.(value & opt float 1.02 & info [ "dose" ] ~doc:"Silicon exposure dose (1.0 nominal).")
+
+let defocus_arg =
+  Arg.(value & opt float 70.0 & info [ "defocus" ] ~doc:"Silicon defocus, nm.")
+
+let spread_arg =
+  Arg.(value & opt float 8.0 & info [ "spread" ] ~doc:"Corner CD spread, nm.")
+
+let report_arg =
+  Arg.(value & opt int 0 & info [ "report" ] ~doc:"Print the top-N critical paths.")
+
+let run_cmd =
+  let doc = "run the full post-OPC extraction timing flow on a benchmark" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_flow $ bench_arg $ opc_arg $ seed_arg $ dose_arg $ defocus_arg
+      $ spread_arg $ report_arg)
+
+(* ---- cells ---- *)
+
+let show_cells () =
+  let tech = Layout.Tech.node90 in
+  Format.printf "%a@." Layout.Tech.pp tech;
+  List.iter
+    (fun (name, (c : Layout.Cell.t)) ->
+      Format.printf "%-10s %5dx%d nm, %d devices, %d shapes@." name c.Layout.Cell.width
+        c.Layout.Cell.height
+        (List.length c.Layout.Cell.transistors)
+        (List.length c.Layout.Cell.shapes))
+    (Layout.Stdcell.library tech)
+
+let cells_cmd =
+  Cmd.v (Cmd.info "cells" ~doc:"list the standard-cell library") Term.(const show_cells $ const ())
+
+(* ---- litho ---- *)
+
+let show_litho () =
+  let tech = Layout.Tech.node90 in
+  let model = Litho.Aerial.calibrate (Litho.Model.create ()) tech in
+  Format.printf "%a@." Litho.Model.pp model;
+  List.iter
+    (fun (k : Litho.Model.kernel) ->
+      Format.printf "  kernel sigma=%.0fnm weight=%+.3f@." k.Litho.Model.sigma
+        k.Litho.Model.weight)
+    model.Litho.Model.kernels
+
+let litho_cmd =
+  Cmd.v (Cmd.info "litho" ~doc:"show the calibrated optical model") Term.(const show_litho $ const ())
+
+(* ---- drc ---- *)
+
+let run_drc n seed =
+  let tech = Layout.Tech.node90 in
+  let rng = Stats.Rng.create seed in
+  let chip = Layout.Placer.random_block tech Layout.Placer.default_config rng ~n in
+  Format.printf "%a@." Layout.Chip.pp chip;
+  Format.printf "%a@." Layout.Drc.pp_report (Layout.Drc.check_chip chip)
+
+let drc_cmd =
+  let cells = Arg.(value & opt int 30 & info [ "cells" ] ~doc:"Random cells to place.") in
+  Cmd.v (Cmd.info "drc" ~doc:"place a random block and run design-rule checks")
+    Term.(const run_drc $ cells $ seed_arg)
+
+(* ---- liberty ---- *)
+
+let export_liberty path =
+  let tech = Layout.Tech.node90 in
+  let env = Circuit.Delay_model.default_env tech in
+  let lib = Circuit.Nldm.build_library env in
+  Circuit.Liberty.save_file path env lib;
+  Format.printf "wrote %s (%d cells)@." path (List.length Circuit.Cell_lib.all)
+
+let liberty_cmd =
+  let out =
+    Arg.(value & opt string "post_opc_timing.lib" & info [ "o"; "out" ] ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "liberty" ~doc:"characterise the cell library and write a Liberty file")
+    Term.(const export_liberty $ out)
+
+(* ---- export ---- *)
+
+let export_layout bench seed path =
+  let netlist = netlist_of_name seed bench in
+  let config = { (Timing_opc.Flow.default_config ()) with Timing_opc.Flow.seed } in
+  let chip = Timing_opc.Flow.place config netlist in
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  Layout.Io.write_chip ppf chip;
+  Format.pp_print_flush ppf ();
+  close_out oc;
+  Format.printf "wrote %s (%a)@." path Layout.Chip.pp chip
+
+let export_cmd =
+  let out =
+    Arg.(value & opt string "layout.txt" & info [ "o"; "out" ] ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"place a benchmark and dump the flattened layout as text")
+    Term.(const export_layout $ bench_arg $ seed_arg $ out)
+
+(* ---- cds ---- *)
+
+let export_cds bench seed path =
+  let config = { (Timing_opc.Flow.default_config ()) with Timing_opc.Flow.seed } in
+  let r = Timing_opc.Flow.run config (netlist_of_name seed bench) in
+  Cdex.Csv.save_file path r.Timing_opc.Flow.cds;
+  Format.printf "wrote %s (%d gate-CD records)@." path (List.length r.Timing_opc.Flow.cds)
+
+let cds_cmd =
+  let out = Arg.(value & opt string "gates.csv" & info [ "o"; "out" ] ~doc:"Output path.") in
+  Cmd.v
+    (Cmd.info "cds" ~doc:"run the flow and export the extracted gate CDs as CSV")
+    Term.(const export_cds $ bench_arg $ seed_arg $ out)
+
+let () =
+  let doc = "post-OPC critical-dimension extraction for advanced timing analysis" in
+  let info = Cmd.info "potx" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; cells_cmd; litho_cmd; drc_cmd; liberty_cmd; export_cmd; cds_cmd ]))

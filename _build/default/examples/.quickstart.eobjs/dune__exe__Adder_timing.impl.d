@@ -1,0 +1,1 @@
+examples/adder_timing.ml: Circuit Format List Sta Timing_opc

@@ -1,0 +1,1 @@
+examples/hotspot_catalog.ml: Format Geometry Hotspot Int Layout List Litho Opc Stats

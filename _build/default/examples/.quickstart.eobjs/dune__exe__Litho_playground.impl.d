@@ -1,0 +1,1 @@
+examples/litho_playground.ml: Format Geometry Layout List Litho Opc Printf Timing_opc

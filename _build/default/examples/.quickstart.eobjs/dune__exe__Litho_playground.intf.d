@@ -1,0 +1,1 @@
+examples/litho_playground.mli:

@@ -1,0 +1,1 @@
+examples/pipeline_fmax.ml: Circuit Format Layout List Printf Route Sta Stats Timing_opc

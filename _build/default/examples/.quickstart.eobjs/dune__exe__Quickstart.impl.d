@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cdex Circuit Format Layout List Litho Opc Sta Stats Timing_opc

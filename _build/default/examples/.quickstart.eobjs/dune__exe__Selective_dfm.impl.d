@@ -1,0 +1,1 @@
+examples/selective_dfm.ml: Circuit Format Layout List Opc Printf Sta Timing_opc

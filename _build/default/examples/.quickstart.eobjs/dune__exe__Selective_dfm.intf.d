@@ -1,0 +1,1 @@
+examples/selective_dfm.mli:

@@ -1,0 +1,64 @@
+(* Hotspot catalog: detect, classify and match layout weak points.
+
+     dune exec examples/hotspot_catalog.exe
+
+   Runs ORC on an uncorrected mask at a harsh process corner, clusters
+   the violations into geometric classes, and uses the worst class as a
+   DRC-Plus-style pattern to screen the rest of the layout. *)
+
+module G = Geometry
+
+let tech = Layout.Tech.node90
+
+let () =
+  let model = Litho.Aerial.calibrate (Litho.Model.create ()) tech in
+  let rng = Stats.Rng.create 11 in
+  let chip = Layout.Placer.random_block tech Layout.Placer.default_config rng ~n:25 in
+  Format.printf "layout: %a@." Layout.Chip.pp chip;
+
+  (* Uncorrected mask, harsh condition: the pre-DFM world. *)
+  let mask = Opc.Mask.of_polygons (Layout.Chip.flatten_layer chip Layout.Layer.Poly) in
+  let orc_config =
+    { (Opc.Orc.default_config tech) with
+      Opc.Orc.conditions = [ Litho.Condition.make ~dose:0.96 ~defocus:120.0 ];
+      epe_tolerance = 6.0 }
+  in
+  let hotspots = Hotspot.Detect.on_chip model orc_config chip ~mask in
+  let pruned = Hotspot.Detect.prune ~radius:300 hotspots in
+  Format.printf "hotspots: %d raw, %d after pruning@." (List.length hotspots)
+    (List.length pruned);
+
+  let source window = Layout.Chip.shapes_in chip Layout.Layer.Poly window in
+  let items =
+    List.map
+      (fun (h : Hotspot.Detect.t) ->
+        (Hotspot.Snippet.capture ~source ~radius:400 h.Hotspot.Detect.at,
+         h.Hotspot.Detect.severity))
+      pruned
+  in
+  let clusters =
+    Hotspot.Cluster.by_severity (Hotspot.Cluster.incremental ~threshold:0.75 items)
+  in
+  Format.printf "@.%d hotspot classes:@." (List.length clusters);
+  List.iteri
+    (fun i c ->
+      if i < 8 then Format.printf "  %d. %a@." (i + 1) Hotspot.Cluster.pp_cluster c)
+    clusters;
+
+  (* Use the largest class as a screening pattern. *)
+  match
+    List.sort
+      (fun (a : Hotspot.Cluster.cluster) b ->
+        Int.compare (List.length b.Hotspot.Cluster.members)
+          (List.length a.Hotspot.Cluster.members))
+      clusters
+  with
+  | [] -> Format.printf "mask is clean at this condition@."
+  | biggest :: _ ->
+      let pattern = Hotspot.Pattern.signature ~cells:16 biggest.Hotspot.Cluster.representative in
+      Format.printf "@.screening pattern: %a@." Hotspot.Pattern.pp pattern;
+      let sites = List.map (fun (h : Hotspot.Detect.t) -> h.Hotspot.Detect.at) pruned in
+      let matches = Hotspot.Pattern.scan ~source ~radius:400 ~cells:16 ~tolerance:12 pattern sites in
+      Format.printf "pattern matches %d of %d hotspot sites (class has %d members)@."
+        (List.length matches) (List.length sites)
+        (List.length biggest.Hotspot.Cluster.members)

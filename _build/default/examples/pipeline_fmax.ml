@@ -1,0 +1,47 @@
+(* Registered pipeline: routing, parasitics and achievable fmax.
+
+     dune exec examples/pipeline_fmax.exe
+
+   Builds a pipelined datapath, channel-routes it, and reports the
+   setup-limited minimum clock period under estimated vs routed wire
+   loads and drawn vs extracted channel lengths — the sequential view
+   of the paper's question. *)
+
+let () =
+  let tech = Layout.Tech.node90 in
+  let env = Circuit.Delay_model.default_env tech in
+  let design = Sta.Sequential.pipeline (Stats.Rng.create 7) ~stages:4 ~width:6 in
+  let netlist = design.Sta.Sequential.netlist in
+  Format.printf "pipeline: %a, %d registers@." Circuit.Netlist.pp netlist
+    (List.length design.Sta.Sequential.regs);
+
+  (* Place and route. *)
+  let config = Timing_opc.Flow.default_config () in
+  let chip = Timing_opc.Flow.place config netlist in
+  let die = match Layout.Chip.die chip with Some d -> d | None -> assert false in
+  let pins = Route.Channel.pins_of_chip chip netlist in
+  let routed = Route.Channel.route tech ~die pins in
+  Format.printf "%a@." Route.Channel.pp_result routed;
+
+  (* Extraction-annotated channel lengths from the full flow. *)
+  let r = Timing_opc.Flow.run config netlist in
+  let annotated =
+    Sta.Timing.model_delay env
+      ~lengths_of:(Timing_opc.Flow.lengths_of_annotation r.Timing_opc.Flow.annotation netlist)
+  in
+  let drawn = Sta.Timing.model_delay env ~lengths_of:(fun _ -> None) in
+  let est_loads = Circuit.Loads.of_netlist env netlist in
+  let phys_loads = Route.Channel.loads env netlist routed ~cap_per_um:0.2 in
+
+  let tmin loads delay = Sta.Sequential.min_period design ~loads ~delay in
+  Timing_opc.Report.table Format.std_formatter
+    ~title:"minimum clock period by wire model x CD model"
+    ~header:[ "wires"; "CDs"; "Tmin"; "fmax" ]
+    (List.map
+       (fun (wname, loads, cname, delay) ->
+         let t = tmin loads delay in
+         [ wname; cname; Timing_opc.Report.ps t; Printf.sprintf "%.2fGHz" (1000.0 /. t) ])
+       [ ("estimated", est_loads, "drawn", drawn);
+         ("estimated", est_loads, "extracted", annotated);
+         ("routed", phys_loads, "drawn", drawn);
+         ("routed", phys_loads, "extracted", annotated) ])

@@ -1,0 +1,1 @@
+lib/cdex/annotate.ml: Device Float Gate_cd Hashtbl Layout List

@@ -1,0 +1,1 @@
+lib/cdex/annotate.mli: Device Gate_cd Layout

@@ -1,0 +1,1 @@
+lib/cdex/context.ml: Format Geometry Layout List

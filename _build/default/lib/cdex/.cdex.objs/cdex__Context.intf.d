@@ -1,0 +1,1 @@
+lib/cdex/context.mli: Format Layout

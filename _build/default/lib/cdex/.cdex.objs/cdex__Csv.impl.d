@@ -1,0 +1,1 @@
+lib/cdex/csv.ml: Format Gate_cd Geometry Layout List Litho Printexc Printf String

@@ -1,0 +1,1 @@
+lib/cdex/csv.mli: Format Gate_cd

@@ -1,0 +1,1 @@
+lib/cdex/extract.ml: Fun Gate_cd Geometry Hashtbl Layout List Litho Option

@@ -1,0 +1,1 @@
+lib/cdex/extract.mli: Gate_cd Geometry Layout Litho

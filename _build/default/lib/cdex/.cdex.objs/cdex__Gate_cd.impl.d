@@ -1,0 +1,1 @@
+lib/cdex/gate_cd.ml: Device Float Format Layout List Litho Printf

@@ -1,0 +1,1 @@
+lib/cdex/gate_cd.mli: Device Format Layout Litho

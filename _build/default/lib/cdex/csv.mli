@@ -1,0 +1,16 @@
+(** CSV interchange of extracted gate CDs — the flat file a real flow
+    hands from the metrology side to the timing side. *)
+
+val header : string
+
+(** One row per gate-CD record; slice CDs are semicolon-separated in
+    the last field. *)
+val write : Format.formatter -> Gate_cd.t list -> unit
+
+(** Parse what [write] produced (the header line is required).
+    @raise Failure on malformed input, with a line number. *)
+val read : string -> Gate_cd.t list
+
+val save_file : string -> Gate_cd.t list -> unit
+
+val load_file : string -> Gate_cd.t list

@@ -1,0 +1,62 @@
+module G = Geometry
+
+type mask_source = G.Rect.t -> G.Polygon.t list
+
+let drawn_source chip window = Layout.Chip.shapes_in chip Layout.Layer.Poly window
+
+(* Group gates into square tiles keyed by the tile containing the gate
+   centre, so each aerial image is shared by many measurements. *)
+let bucket_gates ~tile gates =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Layout.Chip.gate_ref) ->
+      let c = G.Rect.center g.Layout.Chip.gate in
+      let key = (c.G.Point.x / tile, c.G.Point.y / tile) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt table key) in
+      Hashtbl.replace table key (g :: cur))
+    gates;
+  Hashtbl.fold (fun _ gs acc -> gs :: acc) table []
+
+let measure_gate intensity ~threshold ~slices ~search (g : Layout.Chip.gate_ref) =
+  let r = g.Layout.Chip.gate in
+  let xc = float_of_int (r.G.Rect.lx + r.G.Rect.hx) /. 2.0 in
+  let w = G.Rect.height r in
+  (* Cutlines at interior positions: i+1 of slices+1 equal divisions,
+     staying clear of the active-edge ends of the channel. *)
+  let cds =
+    List.filter_map
+      (fun i ->
+        let y =
+          float_of_int r.G.Rect.ly
+          +. (float_of_int w *. float_of_int (i + 1) /. float_of_int (slices + 1))
+        in
+        Litho.Metrology.cd_horizontal intensity ~threshold ~y ~x_center:xc ~search)
+      (List.init slices Fun.id)
+  in
+  (cds, List.length cds = slices)
+
+let extract model condition ~mask ~gates ?(slices = 7) ?(tile = 6000) ?(search = 220.0) () =
+  let halo = model.Litho.Model.halo in
+  let threshold = Litho.Model.printed_threshold model condition in
+  let buckets = bucket_gates ~tile gates in
+  List.concat_map
+    (fun bucket ->
+      let window =
+        G.Rect.inflate
+          (G.Rect.hull_of_list (List.map (fun (g : Layout.Chip.gate_ref) -> g.Layout.Chip.gate) bucket))
+          300
+      in
+      let polygons = mask (G.Rect.inflate window halo) in
+      let intensity = Litho.Aerial.simulate model condition ~window polygons in
+      List.map
+        (fun g ->
+          let cds, printed = measure_gate intensity ~threshold ~slices ~search g in
+          { Gate_cd.gate = g; condition; cds; slices_requested = slices; printed })
+        bucket)
+    buckets
+
+let extract_conditions model conditions ~mask ~gates ?(slices = 7) ?(tile = 6000)
+    ?(search = 220.0) () =
+  List.concat_map
+    (fun condition -> extract model condition ~mask ~gates ~slices ~tile ~search ())
+    conditions

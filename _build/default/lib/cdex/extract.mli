@@ -1,0 +1,38 @@
+(** Tiled CD extraction over a chip: the design-based metrology engine.
+
+    Gates are grouped into tiles; each tile's mask neighbourhood is
+    simulated once and every gate in the tile is measured with
+    [slices] horizontal cutlines across its width.  The mask is
+    supplied as a window query so the same engine measures drawn
+    layouts, rule-OPC masks and model-OPC masks. *)
+
+type mask_source = Geometry.Rect.t -> Geometry.Polygon.t list
+
+(** The drawn poly layer of a chip as a mask source. *)
+val drawn_source : Layout.Chip.t -> mask_source
+
+(** [extract model condition ~mask ~gates ()] measures every gate.
+    [slices] cutlines per gate (default 7); [tile] tile edge in nm
+    (default 6000); [search] CD search reach in nm (default 220). *)
+val extract :
+  Litho.Model.t ->
+  Litho.Condition.t ->
+  mask:mask_source ->
+  gates:Layout.Chip.gate_ref list ->
+  ?slices:int ->
+  ?tile:int ->
+  ?search:float ->
+  unit ->
+  Gate_cd.t list
+
+(** Run [extract] for several conditions (sharing the tiling). *)
+val extract_conditions :
+  Litho.Model.t ->
+  Litho.Condition.t list ->
+  mask:mask_source ->
+  gates:Layout.Chip.gate_ref list ->
+  ?slices:int ->
+  ?tile:int ->
+  ?search:float ->
+  unit ->
+  Gate_cd.t list

@@ -1,0 +1,1 @@
+lib/circuit/cell_lib.ml: List Printf String

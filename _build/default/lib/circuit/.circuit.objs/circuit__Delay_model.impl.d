@@ -1,0 +1,1 @@
+lib/circuit/delay_model.ml: Cell_lib Device Float Layout List Option

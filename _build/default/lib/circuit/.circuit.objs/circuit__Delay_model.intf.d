@@ -1,0 +1,1 @@
+lib/circuit/delay_model.mli: Cell_lib Device Layout

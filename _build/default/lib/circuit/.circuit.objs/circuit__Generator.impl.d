@@ -1,0 +1,1 @@
+lib/circuit/generator.ml: Array Fun List Netlist Printf Stats

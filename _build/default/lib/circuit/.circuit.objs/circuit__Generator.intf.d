@@ -1,0 +1,1 @@
+lib/circuit/generator.mli: Netlist Stats

@@ -1,0 +1,1 @@
+lib/circuit/liberty.ml: Array Cell_lib Delay_model Device Format Hashtbl Layout List Nldm Printf String

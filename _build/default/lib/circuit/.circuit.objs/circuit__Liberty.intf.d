@@ -1,0 +1,1 @@
+lib/circuit/liberty.mli: Delay_model Format Nldm

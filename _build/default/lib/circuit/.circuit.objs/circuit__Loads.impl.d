@@ -1,0 +1,1 @@
+lib/circuit/loads.ml: Array Cell_lib Delay_model List Netlist

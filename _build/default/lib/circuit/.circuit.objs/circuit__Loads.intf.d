@@ -1,0 +1,1 @@
+lib/circuit/loads.mli: Delay_model Netlist

@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Format Hashtbl List Option Printf Queue String

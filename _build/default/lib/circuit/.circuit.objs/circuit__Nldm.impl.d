@@ -1,0 +1,1 @@
+lib/circuit/nldm.ml: Array Cell_lib Delay_model Float Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/circuit/nldm.mli: Cell_lib Delay_model Hashtbl

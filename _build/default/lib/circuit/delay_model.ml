@@ -1,0 +1,98 @@
+type lengths = { l_n : float; l_p : float }
+
+let drawn_lengths (tech : Layout.Tech.t) =
+  let l = float_of_int tech.Layout.Tech.gate_length in
+  { l_n = l; l_p = l }
+
+type result = { delay : float; slew_out : float }
+
+type env = {
+  nmos : Device.Mosfet.params;
+  pmos : Device.Mosfet.params;
+  tech : Layout.Tech.t;
+  wire_cap_per_fanout : float;
+  slew_derate : float;
+}
+
+let default_env tech =
+  {
+    nmos = Device.Mosfet.nmos_90;
+    pmos = Device.Mosfet.pmos_90;
+    tech;
+    wire_cap_per_fanout = 1.2;
+    slew_derate = 0.12;
+  }
+
+let widths env (cell : Cell_lib.t) =
+  let f = float_of_int cell.Cell_lib.fingers in
+  ( f *. float_of_int env.tech.Layout.Tech.nmos_width,
+    f *. float_of_int env.tech.Layout.Tech.pmos_width )
+
+let input_cap env cell =
+  let wn, wp = widths env cell in
+  let l = float_of_int env.tech.Layout.Tech.gate_length in
+  (* One input pin drives one N and one P gate per finger-pair; the
+     finger multiplier is already in the widths, but only a single
+     input's slice of it, so divide by fan-in stacks sharing pins. *)
+  let per_input = 1.0 /. float_of_int (List.length cell.Cell_lib.inputs) in
+  per_input
+  *. (Device.Mosfet.cgate env.nmos ~w:wn ~l +. Device.Mosfet.cgate env.pmos ~w:wp ~l)
+
+(* Parasitic self-load at the output: drain junctions, modelled as a
+   fraction of the cell's own gate capacitance. *)
+let self_cap env cell =
+  let wn, wp = widths env cell in
+  let l = float_of_int env.tech.Layout.Tech.gate_length in
+  0.5 *. (Device.Mosfet.cgate env.nmos ~w:wn ~l +. Device.Mosfet.cgate env.pmos ~w:wp ~l)
+
+let stage_result env (cell : Cell_lib.t) ~lengths ~slew_in ~c_total =
+  let wn, wp = widths env cell in
+  let r_fall =
+    float_of_int cell.Cell_lib.stack_n *. Device.Mosfet.req env.nmos ~w:wn ~l:lengths.l_n
+  in
+  let r_rise =
+    float_of_int cell.Cell_lib.stack_p *. Device.Mosfet.req env.pmos ~w:wp ~l:lengths.l_p
+  in
+  let r = Float.max r_fall r_rise in
+  let delay = (0.69 *. r *. c_total) +. (env.slew_derate *. slew_in) in
+  let slew_out = 2.2 *. r *. c_total in
+  { delay; slew_out }
+
+let gate_delay env cell ~lengths ~slew_in ~c_load =
+  let c_self = self_cap env cell in
+  match cell.Cell_lib.stages with
+  | 1 -> stage_result env cell ~lengths ~slew_in ~c_total:(c_load +. c_self)
+  | stages ->
+      (* Internal stages drive roughly their own input capacitance. *)
+      let c_internal = input_cap env cell +. c_self in
+      let rec go i slew acc =
+        if i = stages then
+          let r = stage_result env cell ~lengths ~slew_in:slew ~c_total:(c_load +. c_self) in
+          { r with delay = acc +. r.delay }
+        else
+          let r = stage_result env cell ~lengths ~slew_in:slew ~c_total:c_internal in
+          go (i + 1) r.slew_out (acc +. r.delay)
+      in
+      go 1 slew_in 0.0
+
+let cell_leakage env (cell : Cell_lib.t) ~l_off_of =
+  let drawn = float_of_int env.tech.Layout.Tech.gate_length in
+  let wn = float_of_int env.tech.Layout.Tech.nmos_width in
+  let wp = float_of_int env.tech.Layout.Tech.pmos_width in
+  let one params w name =
+    let l = Option.value ~default:drawn (l_off_of name) in
+    Device.Mosfet.ioff params ~w ~l
+  in
+  (* Series stacks leak roughly as one device; parallel legs add.  A
+     0.5 stack factor stands in for the stack effect. *)
+  let stack_factor s = 1.0 /. (1.0 +. (0.5 *. float_of_int (s - 1))) in
+  let n_leak =
+    List.fold_left (fun acc name -> acc +. one env.nmos wn name) 0.0 cell.Cell_lib.nmos_names
+    *. stack_factor cell.Cell_lib.stack_n
+  in
+  let p_leak =
+    List.fold_left (fun acc name -> acc +. one env.pmos wp name) 0.0 cell.Cell_lib.pmos_names
+    *. stack_factor cell.Cell_lib.stack_p
+  in
+  (* Only one network leaks for a given input state; average. *)
+  0.5 *. (n_leak +. p_leak)

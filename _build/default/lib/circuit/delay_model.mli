@@ -1,0 +1,43 @@
+(** Parameterised switch-level delay model.
+
+    Delay is computed directly from the compact device model so that
+    per-instance channel lengths (from CD extraction) flow straight
+    into timing — the mechanism the paper's back-annotation relies on.
+    At drawn lengths the model coincides with the characterised NLDM
+    tables (see {!Nldm}), which is tested.
+
+    Units: time ps, capacitance fF, resistance kOhm. *)
+
+type lengths = {
+  l_n : float;  (** effective pull-down channel length, nm *)
+  l_p : float;  (** effective pull-up channel length, nm *)
+}
+
+val drawn_lengths : Layout.Tech.t -> lengths
+
+type result = { delay : float; slew_out : float }
+
+(** Electrical environment shared by all delay computations. *)
+type env = {
+  nmos : Device.Mosfet.params;
+  pmos : Device.Mosfet.params;
+  tech : Layout.Tech.t;
+  wire_cap_per_fanout : float;  (** fF added to the load per sink *)
+  slew_derate : float;  (** input-slew contribution to delay *)
+}
+
+val default_env : Layout.Tech.t -> env
+
+(** Input capacitance of one cell input pin, fF (drawn geometry). *)
+val input_cap : env -> Cell_lib.t -> float
+
+(** [gate_delay env cell ~lengths ~slew_in ~c_load] is the worst-case
+    (max of rise/fall) propagation delay and output slew. *)
+val gate_delay :
+  env -> Cell_lib.t -> lengths:lengths -> slew_in:float -> c_load:float -> result
+
+(** Leakage of a whole cell, uA: sums each transistor's off-current at
+    its own leakage-equivalent length.  [l_off_of] maps a layout
+    transistor name (e.g. "MN1") to its length; [None] falls back to
+    drawn. *)
+val cell_leakage : env -> Cell_lib.t -> l_off_of:(string -> float option) -> float

@@ -1,0 +1,238 @@
+let inv_chain n =
+  if n <= 0 then invalid_arg "Generator.inv_chain: n must be positive";
+  let b = Netlist.builder () in
+  let first = Netlist.new_net b in
+  Netlist.mark_input b first;
+  let last =
+    List.fold_left
+      (fun prev i ->
+        let out = Netlist.new_net b in
+        Netlist.add_gate b ~gname:(Printf.sprintf "inv%d" i) ~cell:"INV_X1"
+          ~inputs:[ prev ] ~output:out;
+        out)
+      first
+      (List.init n Fun.id)
+  in
+  Netlist.mark_output b last;
+  Netlist.finish b
+
+let buffer_tree ~depth =
+  if depth <= 0 then invalid_arg "Generator.buffer_tree: depth must be positive";
+  let b = Netlist.builder () in
+  let root = Netlist.new_net b in
+  Netlist.mark_input b root;
+  let counter = ref 0 in
+  let rec expand src level =
+    if level = depth then Netlist.mark_output b src
+    else begin
+      let make cell =
+        incr counter;
+        let out = Netlist.new_net b in
+        Netlist.add_gate b
+          ~gname:(Printf.sprintf "t%d" !counter)
+          ~cell ~inputs:[ src ] ~output:out;
+        out
+      in
+      let left = make "BUF_X1" in
+      let right = make (if level mod 2 = 0 then "INV_X2" else "INV_X1") in
+      expand left (level + 1);
+      expand right (level + 1)
+    end
+  in
+  expand root 0;
+  Netlist.finish b
+
+let c17 () =
+  let b = Netlist.builder () in
+  let pi () =
+    let n = Netlist.new_net b in
+    Netlist.mark_input b n;
+    n
+  in
+  let n1 = pi () and n2 = pi () and n3 = pi () and n6 = pi () and n7 = pi () in
+  let nand name inputs =
+    let out = Netlist.new_net b in
+    Netlist.add_gate b ~gname:name ~cell:"NAND2_X1" ~inputs ~output:out;
+    out
+  in
+  let n10 = nand "g10" [ n1; n3 ] in
+  let n11 = nand "g11" [ n3; n6 ] in
+  let n16 = nand "g16" [ n2; n11 ] in
+  let n19 = nand "g19" [ n11; n7 ] in
+  let n22 = nand "g22" [ n10; n16 ] in
+  let n23 = nand "g23" [ n16; n19 ] in
+  Netlist.mark_output b n22;
+  Netlist.mark_output b n23;
+  Netlist.finish b
+
+(* Full adder: sum via two XOR2, carry via three NAND2. *)
+let full_adder b ~prefix a bb cin =
+  let fresh () = Netlist.new_net b in
+  let gate name cell inputs =
+    let out = fresh () in
+    Netlist.add_gate b ~gname:(prefix ^ name) ~cell ~inputs ~output:out;
+    out
+  in
+  let axb = gate "_x1" "XOR2_X1" [ a; bb ] in
+  let sum = gate "_x2" "XOR2_X1" [ axb; cin ] in
+  let n1 = gate "_n1" "NAND2_X1" [ a; bb ] in
+  let n2 = gate "_n2" "NAND2_X1" [ axb; cin ] in
+  let cout = gate "_n3" "NAND2_X1" [ n1; n2 ] in
+  (sum, cout)
+
+let ripple_adder ~bits =
+  if bits <= 0 then invalid_arg "Generator.ripple_adder: bits must be positive";
+  let b = Netlist.builder () in
+  let pi () =
+    let n = Netlist.new_net b in
+    Netlist.mark_input b n;
+    n
+  in
+  let a = List.init bits (fun _ -> pi ()) in
+  let bv = List.init bits (fun _ -> pi ()) in
+  let cin = pi () in
+  let _, final_carry =
+    List.fold_left2
+      (fun (i, carry) ai bi ->
+        let sum, cout = full_adder b ~prefix:(Printf.sprintf "fa%d" i) ai bi carry in
+        Netlist.mark_output b sum;
+        (i + 1, cout))
+      (0, cin) a bv
+  in
+  Netlist.mark_output b final_carry;
+  Netlist.finish b
+
+let multiplier ~bits =
+  if bits < 2 then invalid_arg "Generator.multiplier: need at least 2 bits";
+  let b = Netlist.builder () in
+  let pi () =
+    let n = Netlist.new_net b in
+    Netlist.mark_input b n;
+    n
+  in
+  let a = Array.init bits (fun _ -> pi ()) in
+  let bv = Array.init bits (fun _ -> pi ()) in
+  (* Partial products: AND = NAND2 + INV. *)
+  let pp i j =
+    let n1 = Netlist.new_net b in
+    Netlist.add_gate b ~gname:(Printf.sprintf "pp%d_%d_n" i j) ~cell:"NAND2_X1"
+      ~inputs:[ a.(i); bv.(j) ] ~output:n1;
+    let n2 = Netlist.new_net b in
+    Netlist.add_gate b ~gname:(Printf.sprintf "pp%d_%d_i" i j) ~cell:"INV_X1"
+      ~inputs:[ n1 ] ~output:n2;
+    n2
+  in
+  (* Carry-save reduction, row by row. *)
+  let row = ref (Array.init bits (fun j -> pp 0 j)) in
+  Netlist.mark_output b !row.(0);
+  for i = 1 to bits - 1 do
+    let pps = Array.init bits (fun j -> pp i j) in
+    let carries = ref [] in
+    let next = Array.make bits 0 in
+    for j = 0 to bits - 1 do
+      (* Top column has no row above; reuse the local partial product
+         as a benign operand (structure, not arithmetic, matters for
+         timing benchmarks). *)
+      let above = if j + 1 < bits then !row.(j + 1) else pps.(j) in
+      let cin =
+        match !carries with
+        | c :: _ -> c
+        | [] -> pps.(j)
+      in
+      let sum, cout =
+        full_adder b ~prefix:(Printf.sprintf "m%d_%d" i j) pps.(j) above cin
+      in
+      next.(j) <- sum;
+      carries := cout :: !carries
+    done;
+    row := next;
+    Netlist.mark_output b next.(0)
+  done;
+  Array.iteri (fun j n -> if j > 0 then Netlist.mark_output b n) !row;
+  Netlist.finish b
+
+let random_logic rng ~levels ~width =
+  if levels <= 0 || width <= 0 then invalid_arg "Generator.random_logic: bad shape";
+  let b = Netlist.builder () in
+  let cells2 = [| "NAND2_X1"; "NOR2_X1"; "XOR2_X1"; "NAND2_X2" |] in
+  let cells3 = [| "NAND3_X1"; "NOR3_X1"; "AOI21_X1"; "OAI21_X1" |] in
+  let cells1 = [| "INV_X1"; "INV_X2"; "BUF_X1" |] in
+  let pis = List.init width (fun _ ->
+      let n = Netlist.new_net b in
+      Netlist.mark_input b n;
+      n)
+  in
+  let prev = ref (Array.of_list pis) in
+  let counter = ref 0 in
+  for level = 1 to levels do
+    let next =
+      Array.init width (fun _ ->
+          incr counter;
+          let fan = 1 + Stats.Rng.int rng 3 in
+          let cell =
+            match fan with
+            | 1 -> Stats.Rng.choose rng cells1
+            | 2 -> Stats.Rng.choose rng cells2
+            | 3 -> Stats.Rng.choose rng cells3
+            | _ -> assert false
+          in
+          (* Distinct inputs from the previous rank. *)
+          let pool = Array.copy !prev in
+          Stats.Rng.shuffle rng pool;
+          let inputs = Array.to_list (Array.sub pool 0 (min fan (Array.length pool))) in
+          let cell = if List.length inputs = 1 then Stats.Rng.choose rng cells1
+                     else if List.length inputs = 2 then Stats.Rng.choose rng cells2
+                     else cell
+          in
+          let out = Netlist.new_net b in
+          Netlist.add_gate b
+            ~gname:(Printf.sprintf "r%d_%d" level !counter)
+            ~cell ~inputs ~output:out;
+          out)
+    in
+    prev := next
+  done;
+  Array.iter (fun n -> Netlist.mark_output b n) !prev;
+  Netlist.finish b
+
+(* Every chain carries the same multiset of cells in a shuffled order,
+   like replicated bit-slices of a datapath: nominal arrivals agree to
+   within load/slew second-order effects, so the criticality order of
+   the endpoints is decided by silicon, not by structure. *)
+let parallel_chains rng ~chains ~depth =
+  if chains <= 0 || depth <= 0 then invalid_arg "Generator.parallel_chains: bad shape";
+  let b = Netlist.builder () in
+  let base =
+    [| "INV_X1"; "NAND2_X1"; "INV_X2"; "NOR2_X1"; "BUF_X1" |]
+  in
+  for c = 0 to chains - 1 do
+    let pi = Netlist.new_net b in
+    Netlist.mark_input b pi;
+    let sequence = Array.init depth (fun d -> base.(d mod Array.length base)) in
+    Stats.Rng.shuffle rng sequence;
+    let last = ref pi in
+    Array.iteri
+      (fun d cell ->
+        let inputs =
+          (* Two-input cells tie both pins to the chain. *)
+          match cell with
+          | "NAND2_X1" | "NOR2_X1" -> [ !last; !last ]
+          | _ -> [ !last ]
+        in
+        let out = Netlist.new_net b in
+        Netlist.add_gate b ~gname:(Printf.sprintf "p%d_%d" c d) ~cell ~inputs
+          ~output:out;
+        last := out)
+      sequence;
+    Netlist.mark_output b !last
+  done;
+  Netlist.finish b
+
+let benchmarks rng =
+  [
+    ("c17", c17 ());
+    ("adder16", ripple_adder ~bits:16);
+    ("mult8", multiplier ~bits:8);
+    ("rand_12x20", random_logic (Stats.Rng.split rng) ~levels:12 ~width:20);
+    ("chains_24x10", parallel_chains (Stats.Rng.split rng) ~chains:24 ~depth:10);
+  ]

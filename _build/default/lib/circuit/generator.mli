@@ -1,0 +1,36 @@
+(** Benchmark netlist generators.
+
+    Deterministic circuit constructions used by the experiments: a
+    trivial chain, arithmetic blocks whose carry/sum structure creates
+    long competing near-critical paths (the interesting case for
+    speed-path reordering), and seeded random logic clouds. *)
+
+(** [inv_chain n] is a chain of [n] inverters. *)
+val inv_chain : int -> Netlist.t
+
+(** [buffer_tree ~depth] is a complete binary fanout tree of BUF/INV. *)
+val buffer_tree : depth:int -> Netlist.t
+
+(** The ISCAS c17 benchmark (6 NAND2 gates). *)
+val c17 : unit -> Netlist.t
+
+(** [ripple_adder ~bits] is a full ripple-carry adder built from XOR2
+    and NAND2 cells; POs are the sum bits and carry out. *)
+val ripple_adder : bits:int -> Netlist.t
+
+(** [multiplier ~bits] is a carry-save array multiplier:
+    NAND2+INV partial products reduced by full-adder rows. *)
+val multiplier : bits:int -> Netlist.t
+
+(** [random_logic rng ~levels ~width] is a seeded random DAG of
+    library cells with [levels] ranks of [width] gates. *)
+val random_logic : Stats.Rng.t -> levels:int -> width:int -> Netlist.t
+
+(** [parallel_chains rng ~chains ~depth] is a datapath-style bundle of
+    independent equal-depth chains with randomly mixed cells: many
+    endpoints whose nominal arrivals sit within a few ps of each other —
+    the population where speed-path reordering is visible. *)
+val parallel_chains : Stats.Rng.t -> chains:int -> depth:int -> Netlist.t
+
+(** Named benchmark set used across the experiments. *)
+val benchmarks : Stats.Rng.t -> (string * Netlist.t) list

@@ -1,0 +1,17 @@
+let output_load = 4.0
+
+let of_netlist env (netlist : Netlist.t) =
+  let caps = Array.make netlist.Netlist.num_nets 0.0 in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let cell = Cell_lib.find g.Netlist.cell in
+      let cin = Delay_model.input_cap env cell in
+      List.iter
+        (fun i ->
+          caps.(i) <- caps.(i) +. cin +. env.Delay_model.wire_cap_per_fanout)
+        g.Netlist.inputs)
+    netlist.Netlist.gates;
+  List.iter
+    (fun po -> caps.(po) <- caps.(po) +. output_load)
+    netlist.Netlist.primary_outputs;
+  fun net -> caps.(net)

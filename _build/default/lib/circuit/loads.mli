@@ -1,0 +1,10 @@
+(** Net capacitive loads: sum of sink input-pin capacitances plus a
+    per-sink wire estimate.  Loads are computed at drawn geometry (the
+    second-order L-dependence of input caps is ignored, as in the
+    paper's flow where only drive strength is re-annotated). *)
+
+(** [of_netlist env netlist] precomputes every net's load in fF. *)
+val of_netlist : Delay_model.env -> Netlist.t -> Netlist.net -> float
+
+(** Load seen by primary outputs (a fixed external load, fF). *)
+val output_load : float

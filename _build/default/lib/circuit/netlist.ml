@@ -1,0 +1,138 @@
+type net = int
+
+type gate = { gname : string; cell : string; inputs : net list; output : net }
+
+type t = {
+  gates : gate array;
+  num_nets : int;
+  primary_inputs : net list;
+  primary_outputs : net list;
+}
+
+type builder = {
+  mutable next_net : int;
+  mutable rev_gates : gate list;
+  names : (string, unit) Hashtbl.t;
+  drivers : (net, unit) Hashtbl.t;
+  mutable pis : net list;
+  mutable pos : net list;
+}
+
+let builder () =
+  {
+    next_net = 0;
+    rev_gates = [];
+    names = Hashtbl.create 64;
+    drivers = Hashtbl.create 64;
+    pis = [];
+    pos = [];
+  }
+
+let new_net b =
+  let n = b.next_net in
+  b.next_net <- n + 1;
+  n
+
+let add_gate b ~gname ~cell ~inputs ~output =
+  if Hashtbl.mem b.names gname then
+    invalid_arg (Printf.sprintf "Netlist.add_gate: duplicate gate %s" gname);
+  if Hashtbl.mem b.drivers output then
+    invalid_arg (Printf.sprintf "Netlist.add_gate: net %d double-driven" output);
+  if inputs = [] then invalid_arg "Netlist.add_gate: no inputs";
+  Hashtbl.add b.names gname ();
+  Hashtbl.add b.drivers output ();
+  b.rev_gates <- { gname; cell; inputs; output } :: b.rev_gates
+
+let mark_input b n =
+  if Hashtbl.mem b.drivers n then
+    invalid_arg "Netlist.mark_input: net already driven by a gate";
+  Hashtbl.add b.drivers n ();
+  b.pis <- n :: b.pis
+
+let mark_output b n = b.pos <- n :: b.pos
+
+let finish b =
+  let gates = List.rev b.rev_gates in
+  let num_nets = b.next_net in
+  (* Every input must be driven. *)
+  List.iter
+    (fun g ->
+      List.iter
+        (fun i ->
+          if not (Hashtbl.mem b.drivers i) then
+            invalid_arg
+              (Printf.sprintf "Netlist.finish: net %d (input of %s) undriven" i g.gname))
+        g.inputs)
+    gates;
+  (* Kahn topological sort over gate dependencies. *)
+  let by_output = Hashtbl.create (List.length gates) in
+  List.iter (fun g -> Hashtbl.add by_output g.output g) gates;
+  let pi_set = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace pi_set n ()) b.pis;
+  let indeg = Hashtbl.create (List.length gates) in
+  let dependents = Hashtbl.create (List.length gates) in
+  List.iter
+    (fun g ->
+      let deps =
+        List.filter_map
+          (fun i -> if Hashtbl.mem pi_set i then None else Hashtbl.find_opt by_output i)
+          g.inputs
+      in
+      Hashtbl.replace indeg g.gname (List.length deps);
+      List.iter
+        (fun d ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt dependents d.gname) in
+          Hashtbl.replace dependents d.gname (g :: cur))
+        deps)
+    gates;
+  let queue = Queue.create () in
+  List.iter (fun g -> if Hashtbl.find indeg g.gname = 0 then Queue.add g queue) gates;
+  let sorted = ref [] in
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    sorted := g :: !sorted;
+    List.iter
+      (fun d ->
+        let k = Hashtbl.find indeg d.gname - 1 in
+        Hashtbl.replace indeg d.gname k;
+        if k = 0 then Queue.add d queue)
+      (Option.value ~default:[] (Hashtbl.find_opt dependents g.gname))
+  done;
+  let sorted = List.rev !sorted in
+  if List.length sorted <> List.length gates then
+    invalid_arg "Netlist.finish: combinational cycle";
+  {
+    gates = Array.of_list sorted;
+    num_nets;
+    primary_inputs = List.rev b.pis;
+    primary_outputs = List.rev b.pos;
+  }
+
+let num_gates t = Array.length t.gates
+
+let fanout t n =
+  Array.to_list t.gates
+  |> List.concat_map (fun g ->
+         List.concat
+           (List.mapi (fun pos i -> if i = n then [ (g, pos) ] else []) g.inputs))
+
+let driver t n = Array.to_list t.gates |> List.find_opt (fun g -> g.output = n)
+
+let find_gate t name =
+  Array.to_list t.gates |> List.find_opt (fun g -> String.equal g.gname name)
+
+let cell_histogram t =
+  let table = Hashtbl.create 16 in
+  Array.iter
+    (fun g ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt table g.cell) in
+      Hashtbl.replace table g.cell (c + 1))
+    t.gates;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  Format.fprintf ppf "netlist: %d gates, %d nets, %d PIs, %d POs" (num_gates t)
+    t.num_nets
+    (List.length t.primary_inputs)
+    (List.length t.primary_outputs)

@@ -1,0 +1,56 @@
+(** Gate-level combinational netlists.
+
+    Nets are integer ids.  Every net has at most one driver (a gate
+    output or a primary input); cycles are rejected at build time so
+    static timing levelisation always succeeds. *)
+
+type net = int
+
+type gate = {
+  gname : string;  (** unique instance name *)
+  cell : string;  (** logical cell name, see {!Cell_lib} *)
+  inputs : net list;
+  output : net;
+}
+
+type t = {
+  gates : gate array;  (** in a valid topological order *)
+  num_nets : int;
+  primary_inputs : net list;
+  primary_outputs : net list;
+}
+
+(** Mutable builder. *)
+type builder
+
+val builder : unit -> builder
+
+val new_net : builder -> net
+
+(** @raise Invalid_argument on duplicate gate names or double-driven
+    output nets. *)
+val add_gate : builder -> gname:string -> cell:string -> inputs:net list -> output:net -> unit
+
+val mark_input : builder -> net -> unit
+
+val mark_output : builder -> net -> unit
+
+(** Finalise: checks single-driver, that every gate input is driven (by
+    a gate or a primary input), and topologically sorts the gates.
+    @raise Invalid_argument on combinational cycles or floating nets. *)
+val finish : builder -> t
+
+val num_gates : t -> int
+
+(** Gates reading a net, with the input pin position. *)
+val fanout : t -> net -> (gate * int) list
+
+(** The gate driving a net, if any. *)
+val driver : t -> net -> gate option
+
+val find_gate : t -> string -> gate option
+
+(** Count of gates per cell name. *)
+val cell_histogram : t -> (string * int) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+type table = {
+  slew_axis : float array;
+  load_axis : float array;
+  delay : float array array;
+  slew_out : float array array;
+}
+
+type t = { cell : string; input_cap : float; tbl : table }
+
+let default_slew_axis = [| 2.0; 10.0; 25.0; 60.0; 120.0; 250.0 |]
+
+let default_load_axis = [| 0.5; 2.0; 5.0; 12.0; 30.0; 70.0 |]
+
+let characterize env (cell : Cell_lib.t) ?(slew_axis = default_slew_axis)
+    ?(load_axis = default_load_axis) () =
+  let lengths = Delay_model.drawn_lengths env.Delay_model.tech in
+  let eval f slew_in c_load =
+    f (Delay_model.gate_delay env cell ~lengths ~slew_in ~c_load)
+  in
+  let build f =
+    Array.map
+      (fun s -> Array.map (fun l -> eval f s l) load_axis)
+      slew_axis
+  in
+  {
+    cell = cell.Cell_lib.name;
+    input_cap = Delay_model.input_cap env cell;
+    tbl =
+      {
+        slew_axis;
+        load_axis;
+        delay = build (fun r -> r.Delay_model.delay);
+        slew_out = build (fun r -> r.Delay_model.slew_out);
+      };
+  }
+
+(* Index of the axis cell containing v, clamped so that i and i+1 are
+   valid; plus the interpolation fraction (clamped to [0,1] so lookups
+   outside the table saturate rather than extrapolate wildly). *)
+let locate axis v =
+  let n = Array.length axis in
+  let rec find i = if i >= n - 2 then n - 2 else if v < axis.(i + 1) then i else find (i + 1) in
+  let i = if v <= axis.(0) then 0 else find 0 in
+  let frac = (v -. axis.(i)) /. (axis.(i + 1) -. axis.(i)) in
+  (i, Float.max 0.0 (Float.min 1.0 frac))
+
+let lookup t ~slew_in ~c_load =
+  let i, fi = locate t.tbl.slew_axis slew_in in
+  let j, fj = locate t.tbl.load_axis c_load in
+  let interp m =
+    let v00 = m.(i).(j) and v01 = m.(i).(j + 1) in
+    let v10 = m.(i + 1).(j) and v11 = m.(i + 1).(j + 1) in
+    ((v00 *. (1.0 -. fj)) +. (v01 *. fj)) *. (1.0 -. fi)
+    +. (((v10 *. (1.0 -. fj)) +. (v11 *. fj)) *. fi)
+  in
+  { Delay_model.delay = interp t.tbl.delay; slew_out = interp t.tbl.slew_out }
+
+type library = (string, t) Hashtbl.t
+
+let build_library env : library =
+  let lib = Hashtbl.create 16 in
+  List.iter
+    (fun cell -> Hashtbl.replace lib cell.Cell_lib.name (characterize env cell ()))
+    Cell_lib.all;
+  lib
+
+let find (lib : library) name =
+  match Hashtbl.find_opt lib name with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Nldm.find: cell %s not characterised" name)

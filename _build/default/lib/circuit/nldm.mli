@@ -1,0 +1,34 @@
+(** Non-linear delay model tables.
+
+    The sign-off view of the library: per-cell 2-D tables of delay and
+    output slew over (input slew x output load), characterised once at
+    drawn channel lengths.  Lookup is bilinear with clamped
+    extrapolation at the table borders, like production NLDM. *)
+
+type table = {
+  slew_axis : float array;  (** ps, ascending *)
+  load_axis : float array;  (** fF, ascending *)
+  delay : float array array;  (** delay.(i).(j) at slew i, load j *)
+  slew_out : float array array;
+}
+
+type t = {
+  cell : string;
+  input_cap : float;  (** fF *)
+  tbl : table;
+}
+
+(** [characterize env cell] builds the table by sweeping the delay
+    model at drawn lengths. *)
+val characterize :
+  Delay_model.env -> Cell_lib.t -> ?slew_axis:float array -> ?load_axis:float array -> unit -> t
+
+(** Bilinear (clamped) interpolation. *)
+val lookup : t -> slew_in:float -> c_load:float -> Delay_model.result
+
+type library = (string, t) Hashtbl.t
+
+(** Characterise the whole cell library. *)
+val build_library : Delay_model.env -> library
+
+val find : library -> string -> t

@@ -1,0 +1,1 @@
+lib/core/compare.ml: Array Float Format Fun Hashtbl Int List Sta Stats

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Cdex Circuit Float Hashtbl Layout List Litho Opc Option Sta Stats String

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Cdex Circuit Layout Litho Opc Sta

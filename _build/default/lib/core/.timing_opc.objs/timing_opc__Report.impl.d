@@ -1,0 +1,1 @@
+lib/core/report.ml: Format List Printf String

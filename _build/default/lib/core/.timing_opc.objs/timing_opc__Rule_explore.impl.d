@@ -1,0 +1,1 @@
+lib/core/rule_explore.ml: Array Cdex Flow Geometry Layout List Litho Opc Printf Report Stats

@@ -1,0 +1,1 @@
+lib/core/rule_explore.mli: Flow Format

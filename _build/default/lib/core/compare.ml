@@ -1,0 +1,110 @@
+type reorder = {
+  endpoints : int;
+  spearman : float;
+  kendall : float;
+  top10_overlap : float;
+  max_rank_move : int;
+  leader_changed : bool;
+}
+
+let aligned_arrivals a b =
+  let ea = Sta.Timing.path_delay_by_endpoint a in
+  let eb = Sta.Timing.path_delay_by_endpoint b in
+  if List.length ea <> List.length eb then
+    invalid_arg "Compare: endpoint count mismatch";
+  let tbl = Hashtbl.create (List.length eb) in
+  List.iter (fun (net, arr) -> Hashtbl.replace tbl net arr) eb;
+  let pairs =
+    List.map
+      (fun (net, arr) ->
+        match Hashtbl.find_opt tbl net with
+        | Some arr_b -> (net, arr, arr_b)
+        | None -> invalid_arg "Compare: endpoint sets differ")
+      ea
+  in
+  pairs
+
+let path_reorder a b =
+  let pairs = aligned_arrivals a b in
+  let xs = Array.of_list (List.map (fun (_, x, _) -> x) pairs) in
+  let ys = Array.of_list (List.map (fun (_, _, y) -> y) pairs) in
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Compare.path_reorder: need >= 2 endpoints";
+  let rank arr =
+    (* Rank 1 = most critical (largest arrival). *)
+    let r = Stats.Correlation.ranks arr in
+    Array.map (fun v -> float_of_int n -. v +. 1.0) r
+  in
+  let ra = rank xs and rb = rank ys in
+  let max_move = ref 0 in
+  Array.iteri
+    (fun i va -> max_move := max !max_move (abs (int_of_float (va -. rb.(i)))))
+    ra;
+  let leader arr =
+    let best = ref 0 in
+    Array.iteri (fun i v -> if v > arr.(!best) then best := i) arr;
+    !best
+  in
+  {
+    endpoints = n;
+    spearman = Stats.Correlation.spearman xs ys;
+    kendall = Stats.Correlation.kendall xs ys;
+    top10_overlap = Stats.Correlation.top_k_overlap xs ys (min 10 n);
+    max_rank_move = !max_move;
+    leader_changed = leader xs <> leader ys;
+  }
+
+type slack_delta = {
+  wns_a : float;
+  wns_b : float;
+  wns_change_pct : float;
+  mean_endpoint_shift : float;
+  max_endpoint_shift : float;
+}
+
+let slack_delta a b =
+  let pairs = aligned_arrivals a b in
+  let shifts = List.map (fun (_, x, y) -> y -. x) pairs in
+  let n = float_of_int (List.length shifts) in
+  let mean = List.fold_left ( +. ) 0.0 shifts /. n in
+  let max_shift = List.fold_left (fun acc s -> Float.max acc (Float.abs s)) 0.0 shifts in
+  let wns_a = a.Sta.Timing.wns and wns_b = b.Sta.Timing.wns in
+  let change =
+    if Float.abs wns_a < 1e-9 then 0.0 else (wns_a -. wns_b) /. Float.abs wns_a *. 100.0
+  in
+  {
+    wns_a;
+    wns_b;
+    wns_change_pct = change;
+    mean_endpoint_shift = mean;
+    max_endpoint_shift = max_shift;
+  }
+
+let rank_table a b =
+  let pairs = aligned_arrivals a b in
+  let arr = Array.of_list pairs in
+  let order_of key =
+    let idx = Array.init (Array.length arr) Fun.id in
+    Array.sort (fun i j -> Float.compare (key arr.(j)) (key arr.(i))) idx;
+    let rank = Array.make (Array.length arr) 0 in
+    Array.iteri (fun pos i -> rank.(i) <- pos + 1) idx;
+    rank
+  in
+  let ra = order_of (fun (_, x, _) -> x) in
+  let rb = order_of (fun (_, _, y) -> y) in
+  let rows =
+    Array.to_list
+      (Array.mapi (fun i (_, x, y) -> (ra.(i), rb.(i), x, y)) arr)
+  in
+  List.sort (fun (r1, _, _, _) (r2, _, _, _) -> Int.compare r1 r2) rows
+
+let pp_reorder ppf r =
+  Format.fprintf ppf
+    "reorder over %d endpoints: spearman=%.3f kendall=%.3f top10=%.0f%% max_move=%d leader_changed=%b"
+    r.endpoints r.spearman r.kendall (100.0 *. r.top10_overlap) r.max_rank_move
+    r.leader_changed
+
+let pp_slack_delta ppf d =
+  Format.fprintf ppf
+    "WNS %.2f -> %.2f ps (%+.1f%% slack change), endpoint shift mean=%.2f max=%.2f ps"
+    d.wns_a d.wns_b d.wns_change_pct d.mean_endpoint_shift d.max_endpoint_shift

@@ -1,0 +1,36 @@
+(** Comparison of two timing views of the same netlist — the paper's
+    central measurement: how much does the speed-path picture change
+    when drawn CDs are replaced by extracted post-OPC CDs? *)
+
+type reorder = {
+  endpoints : int;
+  spearman : float;  (** rank correlation of endpoint arrivals *)
+  kendall : float;
+  top10_overlap : float;  (** fraction of top-10 critical endpoints shared *)
+  max_rank_move : int;  (** largest rank jump of any endpoint *)
+  leader_changed : bool;  (** different most-critical endpoint *)
+}
+
+(** [path_reorder a b] compares endpoint criticality rankings.  Both
+    analyses must come from the same netlist.
+    @raise Invalid_argument when endpoint sets differ. *)
+val path_reorder : Sta.Timing.t -> Sta.Timing.t -> reorder
+
+type slack_delta = {
+  wns_a : float;
+  wns_b : float;
+  wns_change_pct : float;  (** (wns_a - wns_b) / |wns_a| * 100: positive
+                               when view b is slower (slack degraded) *)
+  mean_endpoint_shift : float;  (** mean arrival change, ps *)
+  max_endpoint_shift : float;
+}
+
+val slack_delta : Sta.Timing.t -> Sta.Timing.t -> slack_delta
+
+(** Per-endpoint (rank in a, rank in b, arrival a, arrival b), most
+    critical first in view a. *)
+val rank_table : Sta.Timing.t -> Sta.Timing.t -> (int * int * float * float) list
+
+val pp_reorder : Format.formatter -> reorder -> unit
+
+val pp_slack_delta : Format.formatter -> slack_delta -> unit

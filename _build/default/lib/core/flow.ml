@@ -1,0 +1,229 @@
+type opc_style = No_opc | Rule_opc | Model_opc
+
+type config = {
+  tech : Layout.Tech.t;
+  env : Circuit.Delay_model.env;
+  opc_style : opc_style;
+  opc_config : Opc.Model_opc.config;
+  condition : Litho.Condition.t;
+  cd_noise_gate : float;
+  cd_noise_slice : float;
+  clock_margin : float;
+  tile : int;
+  seed : int;
+  slices : int;
+}
+
+let default_config () =
+  let tech = Layout.Tech.node90 in
+  {
+    tech;
+    env = Circuit.Delay_model.default_env tech;
+    opc_style = Model_opc;
+    opc_config = Opc.Model_opc.default_config tech;
+    (* The "silicon" condition: real exposure sits slightly off the OPC
+       model's nominal (process centring error), which is precisely why
+       post-OPC extraction sees CDs the library view does not. *)
+    condition = Litho.Condition.make ~dose:1.015 ~defocus:70.0;
+    cd_noise_gate = 1.5;
+    cd_noise_slice = 1.0;
+    clock_margin = 0.05;
+    tile = 6000;
+    seed = 42;
+    slices = 7;
+  }
+
+let model_cache : (string, Litho.Model.t) Hashtbl.t = Hashtbl.create 4
+
+let litho_model config =
+  let key = config.tech.Layout.Tech.name in
+  match Hashtbl.find_opt model_cache key with
+  | Some m -> m
+  | None ->
+      let m = Litho.Aerial.calibrate (Litho.Model.create ()) config.tech in
+      Hashtbl.add model_cache key m;
+      m
+
+type run = {
+  config : config;
+  netlist : Circuit.Netlist.t;
+  chip : Layout.Chip.t;
+  mask : Opc.Mask.t;
+  opc_stats : Opc.Model_opc.stats;
+  cds : Cdex.Gate_cd.t list;
+  annotation : Cdex.Annotate.t;
+  loads : Circuit.Netlist.net -> float;
+  clock_period : float;
+  drawn_sta : Sta.Timing.t;
+  post_opc_sta : Sta.Timing.t;
+}
+
+let place config netlist =
+  let rng = Stats.Rng.create config.seed in
+  let cells =
+    Array.to_list netlist.Circuit.Netlist.gates
+    |> List.map (fun (g : Circuit.Netlist.gate) ->
+           let cell = Circuit.Cell_lib.find g.Circuit.Netlist.cell in
+           (g.Circuit.Netlist.gname, cell.Circuit.Cell_lib.layout_cell))
+  in
+  Layout.Placer.place config.tech Layout.Placer.default_config rng cells
+
+let mean = function
+  | [] -> None
+  | xs -> Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
+
+let lengths_of_annotation annotation netlist =
+  (* Precompute per-instance lengths once; STA calls this per arc. *)
+  let table = Hashtbl.create (Circuit.Netlist.num_gates netlist) in
+  Array.iter
+    (fun (g : Circuit.Netlist.gate) ->
+      let cell = Circuit.Cell_lib.find g.Circuit.Netlist.cell in
+      let collect names =
+        List.filter_map
+          (fun tname ->
+            Option.map
+              (fun (e : Cdex.Annotate.entry) -> e.Cdex.Annotate.l_on)
+              (Cdex.Annotate.find annotation (g.Circuit.Netlist.gname ^ "/" ^ tname)))
+          names
+      in
+      match
+        (mean (collect cell.Circuit.Cell_lib.nmos_names),
+         mean (collect cell.Circuit.Cell_lib.pmos_names))
+      with
+      | Some l_n, Some l_p ->
+          Hashtbl.replace table g.Circuit.Netlist.gname
+            { Circuit.Delay_model.l_n; l_p }
+      | None, _ | _, None -> ())
+    netlist.Circuit.Netlist.gates;
+  fun name -> Hashtbl.find_opt table name
+
+let opc_of_config config litho chip =
+  match config.opc_style with
+  | No_opc -> Opc.Chip_opc.correct litho Opc.Chip_opc.None_ chip ~tile:config.tile
+  | Rule_opc ->
+      Opc.Chip_opc.correct litho
+        (Opc.Chip_opc.Rule (Opc.Rule_opc.default_recipe config.tech))
+        chip ~tile:config.tile
+  | Model_opc ->
+      Opc.Chip_opc.correct litho (Opc.Chip_opc.Model config.opc_config) chip
+        ~tile:config.tile
+
+(* Local silicon CD variation: the litho simulator is deterministic,
+   but the CD-SEM data the paper calibrates against carries line-edge
+   roughness and local dose/focus noise.  A per-gate component (does
+   not average out over the device width) plus a per-slice component
+   (partially averages in the L_eff reduction) is added, seeded from
+   the gate key so runs are reproducible. *)
+let add_silicon_noise config cds =
+  if config.cd_noise_gate <= 0.0 && config.cd_noise_slice <= 0.0 then cds
+  else
+    List.map
+      (fun (cd : Cdex.Gate_cd.t) ->
+        let key = Layout.Chip.gate_key cd.Cdex.Gate_cd.gate in
+        let rng = Stats.Rng.create (Hashtbl.hash (config.seed, key)) in
+        let gate_shift = Stats.Rng.normal rng ~mean:0.0 ~std:config.cd_noise_gate in
+        let bump v =
+          let s = Stats.Rng.normal rng ~mean:0.0 ~std:config.cd_noise_slice in
+          Float.max 10.0 (v +. gate_shift +. s)
+        in
+        { cd with Cdex.Gate_cd.cds = List.map bump cd.Cdex.Gate_cd.cds })
+      cds
+
+let extract_and_time config ~litho ~netlist ~chip ~mask ~loads ~clock_period =
+  let gates = Layout.Chip.gates chip in
+  let cds =
+    Cdex.Extract.extract litho config.condition ~mask:(Opc.Mask.source mask) ~gates
+      ~slices:config.slices ~tile:config.tile ()
+    |> add_silicon_noise config
+  in
+  let annotation =
+    Cdex.Annotate.build ~nmos:config.env.Circuit.Delay_model.nmos
+      ~pmos:config.env.Circuit.Delay_model.pmos cds
+  in
+  let delay =
+    Sta.Timing.model_delay config.env
+      ~lengths_of:(lengths_of_annotation annotation netlist)
+  in
+  let sta = Sta.Timing.analyze netlist ~loads ~delay ~clock_period () in
+  (cds, annotation, sta)
+
+let run config netlist =
+  let litho = litho_model config in
+  let chip = place config netlist in
+  let loads = Circuit.Loads.of_netlist config.env netlist in
+  (* Sign-off view: characterised NLDM library at drawn CDs. *)
+  let nldm = Circuit.Nldm.build_library config.env in
+  let drawn_delay = Sta.Timing.nldm_delay nldm in
+  let pre = Sta.Timing.analyze netlist ~loads ~delay:drawn_delay ~clock_period:1.0 () in
+  let clock_period = Sta.Timing.critical_delay pre *. (1.0 +. config.clock_margin) in
+  let drawn_sta =
+    Sta.Timing.analyze netlist ~loads ~delay:drawn_delay ~clock_period ()
+  in
+  let mask, opc_stats = opc_of_config config litho chip in
+  let cds, annotation, post_opc_sta =
+    extract_and_time config ~litho ~netlist ~chip ~mask ~loads ~clock_period
+  in
+  {
+    config;
+    netlist;
+    chip;
+    mask;
+    opc_stats;
+    cds;
+    annotation;
+    loads;
+    clock_period;
+    drawn_sta;
+    post_opc_sta;
+  }
+
+let corner_views r ~spread =
+  List.map
+    (fun corner ->
+      ( corner,
+        Sta.Corners.analyze r.config.env r.netlist ~loads:r.loads corner
+          ~clock_period:r.clock_period ))
+    (Sta.Corners.classic ~spread)
+
+let critical_gates r ~view ~margin =
+  let worst = view.Sta.Timing.wns in
+  let names =
+    List.concat_map
+      (fun (p : Sta.Timing.path) ->
+        if p.Sta.Timing.slack <= worst +. margin then p.Sta.Timing.gates else [])
+      view.Sta.Timing.paths
+    |> List.sort_uniq String.compare
+  in
+  let set = Hashtbl.create (List.length names) in
+  List.iter (fun n -> Hashtbl.replace set n ()) names;
+  List.filter
+    (fun (g : Layout.Chip.gate_ref) -> Hashtbl.mem set g.Layout.Chip.inst)
+    (Layout.Chip.gates r.chip)
+
+let run_selective r ~selected =
+  let config = r.config in
+  let litho = litho_model config in
+  let mask, opc_stats =
+    Opc.Chip_opc.correct_selective litho config.opc_config
+      (Opc.Rule_opc.default_recipe config.tech)
+      r.chip ~tile:config.tile ~selected
+  in
+  let cds, annotation, post_opc_sta =
+    extract_and_time config ~litho ~netlist:r.netlist ~chip:r.chip ~mask
+      ~loads:r.loads ~clock_period:r.clock_period
+  in
+  { r with mask; opc_stats; cds; annotation; post_opc_sta }
+
+let leakage r ~annotated =
+  Array.fold_left
+    (fun acc (g : Circuit.Netlist.gate) ->
+      let cell = Circuit.Cell_lib.find g.Circuit.Netlist.cell in
+      let l_off_of tname =
+        if not annotated then None
+        else
+          Option.map
+            (fun (e : Cdex.Annotate.entry) -> e.Cdex.Annotate.l_off)
+            (Cdex.Annotate.find r.annotation (g.Circuit.Netlist.gname ^ "/" ^ tname))
+      in
+      acc +. Circuit.Delay_model.cell_leakage r.config.env cell ~l_off_of)
+    0.0 r.netlist.Circuit.Netlist.gates

@@ -1,0 +1,75 @@
+(** The paper's flow: place a netlist, OPC the poly layer, simulate
+    patterning, extract per-gate CDs, back-annotate equivalent channel
+    lengths, and re-run timing — then compare against the drawn and
+    corner sign-off views.
+
+    This is the public entry point of the library; the examples and
+    every timing experiment in the bench harness go through it. *)
+
+type opc_style = No_opc | Rule_opc | Model_opc
+
+type config = {
+  tech : Layout.Tech.t;
+  env : Circuit.Delay_model.env;
+  opc_style : opc_style;
+  opc_config : Opc.Model_opc.config;
+  condition : Litho.Condition.t;
+      (** the "silicon" condition extraction measures at — defaults to a
+          small dose/defocus offset from the OPC model's nominal,
+          modelling process-centring error *)
+  cd_noise_gate : float;
+      (** per-gate local CD variation (LER / local dose), nm 1-sigma;
+          deterministic per gate site from [seed] *)
+  cd_noise_slice : float;  (** per-cutline CD noise, nm 1-sigma *)
+  clock_margin : float;  (** clock = drawn critical delay * (1 + margin) *)
+  tile : int;  (** OPC/extraction tile edge, nm *)
+  seed : int;  (** placement/filler randomisation seed *)
+  slices : int;  (** CD cutlines per gate *)
+}
+
+val default_config : unit -> config
+
+(** Calibrated litho model for a config (memoised per technology). *)
+val litho_model : config -> Litho.Model.t
+
+(** One complete run of the flow over a netlist. *)
+type run = {
+  config : config;
+  netlist : Circuit.Netlist.t;
+  chip : Layout.Chip.t;
+  mask : Opc.Mask.t;
+  opc_stats : Opc.Model_opc.stats;
+  cds : Cdex.Gate_cd.t list;  (** extraction condition records *)
+  annotation : Cdex.Annotate.t;
+  loads : Circuit.Netlist.net -> float;
+  clock_period : float;
+  drawn_sta : Sta.Timing.t;  (** sign-off view: NLDM at drawn CDs *)
+  post_opc_sta : Sta.Timing.t;  (** annotated view: extracted CDs *)
+}
+
+(** Row-place a netlist's cells (one layout instance per gate, same
+    instance names). *)
+val place : config -> Circuit.Netlist.t -> Layout.Chip.t
+
+(** Per-instance effective lengths from a CD annotation: pull-down L is
+    the mean of the instance's NMOS [l_on]s, pull-up of the PMOS ones.
+    Instances with no annotated device map to [None] (drawn). *)
+val lengths_of_annotation :
+  Cdex.Annotate.t -> Circuit.Netlist.t -> string -> Circuit.Delay_model.lengths option
+
+val run : config -> Circuit.Netlist.t -> run
+
+(** STA of the run's netlist at classic corners of +-[spread] nm. *)
+val corner_views : run -> spread:float -> (Sta.Corners.corner * Sta.Timing.t) list
+
+(** Gate sites belonging to instances on paths with slack within
+    [margin] ps of the worst slack, in the given timing view. *)
+val critical_gates : run -> view:Sta.Timing.t -> margin:float -> Layout.Chip.gate_ref list
+
+(** Re-run extraction and timing with model OPC applied only to
+    [selected] gates and rule OPC elsewhere (the DFM feedback loop). *)
+val run_selective : run -> selected:Layout.Chip.gate_ref list -> run
+
+(** Total netlist leakage in uA.  [annotated] uses each device's
+    extracted leakage-equivalent length; otherwise drawn. *)
+val leakage : run -> annotated:bool -> float

@@ -1,0 +1,17 @@
+(** ASCII table rendering for experiment reports. *)
+
+(** [table ppf ~title ~header rows] prints a fixed-width table; column
+    widths adapt to content. *)
+val table :
+  Format.formatter -> title:string -> header:string list -> string list list -> unit
+
+(** Format helpers used across benches. *)
+val f1 : float -> string
+
+val f2 : float -> string
+
+val pct : float -> string
+
+val ps : float -> string
+
+val nm : float -> string

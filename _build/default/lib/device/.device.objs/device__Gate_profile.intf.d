@@ -1,0 +1,1 @@
+lib/device/gate_profile.mli: Format

@@ -1,0 +1,1 @@
+lib/device/leff.ml: Format Gate_profile List Mosfet

@@ -1,0 +1,1 @@
+lib/device/leff.mli: Format Gate_profile Mosfet

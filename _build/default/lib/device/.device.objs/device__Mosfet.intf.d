@@ -1,0 +1,1 @@
+lib/device/mosfet.mli: Format

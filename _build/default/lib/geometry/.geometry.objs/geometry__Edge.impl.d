@@ -1,0 +1,1 @@
+lib/geometry/edge.ml: Format List Point

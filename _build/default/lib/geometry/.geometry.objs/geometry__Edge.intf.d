@@ -1,0 +1,1 @@
+lib/geometry/edge.mli: Format Point

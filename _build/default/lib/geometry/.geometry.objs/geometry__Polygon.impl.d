@@ -1,0 +1,1 @@
+lib/geometry/polygon.ml: Array Edge Format List Point Rect

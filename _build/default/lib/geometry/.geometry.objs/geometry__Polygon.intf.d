@@ -1,0 +1,1 @@
+lib/geometry/polygon.mli: Edge Format Point Rect

@@ -1,0 +1,1 @@
+lib/geometry/rect.ml: Format Int List Point

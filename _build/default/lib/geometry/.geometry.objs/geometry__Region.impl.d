@@ -1,0 +1,1 @@
+lib/geometry/region.ml: Bool Edge Format Int List Point Polygon Rect

@@ -1,0 +1,1 @@
+lib/geometry/region.mli: Format Point Polygon Rect

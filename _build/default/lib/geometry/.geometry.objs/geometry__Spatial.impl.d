@@ -1,0 +1,1 @@
+lib/geometry/spatial.ml: Hashtbl List Rect

@@ -1,0 +1,1 @@
+lib/geometry/spatial.mli: Rect

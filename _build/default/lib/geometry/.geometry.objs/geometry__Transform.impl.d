@@ -1,0 +1,1 @@
+lib/geometry/transform.ml: Format List Point Polygon Rect

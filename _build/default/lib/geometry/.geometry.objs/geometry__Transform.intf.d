@@ -1,0 +1,1 @@
+lib/geometry/transform.mli: Format Point Polygon Rect

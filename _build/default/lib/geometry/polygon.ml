@@ -1,0 +1,131 @@
+type t = { ring : Point.t array }
+
+let shoelace2 ring =
+  let n = Array.length ring in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let a = ring.(i) and b = ring.((i + 1) mod n) in
+    acc := !acc + (a.Point.x * b.Point.y) - (b.Point.x * a.Point.y)
+  done;
+  !acc
+
+(* Remove consecutive duplicates and collinear vertices (for a
+   rectilinear ring, a vertex is collinear when its neighbours share its
+   x or its y through it). *)
+let simplify ring =
+  let dedup =
+    List.fold_left
+      (fun acc p ->
+        match acc with
+        | q :: _ when Point.equal p q -> acc
+        | _ -> p :: acc)
+      [] ring
+    |> List.rev
+  in
+  let dedup =
+    match (dedup, List.rev dedup) with
+    | p :: rest, q :: _ when Point.equal p q -> List.rev (List.tl (List.rev (p :: rest)))
+    | _ -> dedup
+  in
+  let arr = Array.of_list dedup in
+  let n = Array.length arr in
+  if n < 3 then dedup
+  else begin
+    let keep = ref [] in
+    for i = n - 1 downto 0 do
+      let prev = arr.((i + n - 1) mod n) and cur = arr.(i) and next = arr.((i + 1) mod n) in
+      let collinear =
+        (prev.Point.x = cur.Point.x && cur.Point.x = next.Point.x)
+        || (prev.Point.y = cur.Point.y && cur.Point.y = next.Point.y)
+      in
+      if not collinear then keep := cur :: !keep
+    done;
+    !keep
+  end
+
+let check_rectilinear ring =
+  let n = Array.length ring in
+  for i = 0 to n - 1 do
+    let a = ring.(i) and b = ring.((i + 1) mod n) in
+    if a.Point.x <> b.Point.x && a.Point.y <> b.Point.y then
+      invalid_arg "Polygon.make: ring is not rectilinear";
+    if Point.equal a b then invalid_arg "Polygon.make: repeated vertex"
+  done
+
+let make vertices =
+  let ring = simplify vertices in
+  if List.length ring < 4 then
+    invalid_arg "Polygon.make: fewer than 4 vertices after normalisation";
+  let arr = Array.of_list ring in
+  check_rectilinear arr;
+  let arr = if shoelace2 arr < 0 then (Array.of_list (List.rev ring)) else arr in
+  { ring = arr }
+
+let of_rect (r : Rect.t) =
+  if Rect.is_empty r then invalid_arg "Polygon.of_rect: empty rectangle";
+  make
+    [ Point.make r.Rect.lx r.Rect.ly; Point.make r.Rect.hx r.Rect.ly;
+      Point.make r.Rect.hx r.Rect.hy; Point.make r.Rect.lx r.Rect.hy ]
+
+let vertices p = Array.to_list p.ring
+
+let edges p =
+  let n = Array.length p.ring in
+  List.init n (fun i -> Edge.make p.ring.(i) p.ring.((i + 1) mod n))
+
+let num_vertices p = Array.length p.ring
+
+let area p = shoelace2 p.ring / 2
+
+let perimeter p = List.fold_left (fun acc e -> acc + Edge.length e) 0 (edges p)
+
+let bbox p =
+  let xs = Array.map (fun v -> v.Point.x) p.ring in
+  let ys = Array.map (fun v -> v.Point.y) p.ring in
+  let fold f a = Array.fold_left f a.(0) a in
+  Rect.make ~lx:(fold min xs) ~ly:(fold min ys) ~hx:(fold max xs) ~hy:(fold max ys)
+
+let translate p d = { ring = Array.map (fun v -> Point.add v d) p.ring }
+
+let contains_point p (q : Point.t) =
+  let n = Array.length p.ring in
+  let on_boundary = ref false in
+  let inside = ref false in
+  for i = 0 to n - 1 do
+    let a = p.ring.(i) and b = p.ring.((i + 1) mod n) in
+    (* Boundary test on the axis-aligned segment. *)
+    let lx = min a.Point.x b.Point.x and hx = max a.Point.x b.Point.x in
+    let ly = min a.Point.y b.Point.y and hy = max a.Point.y b.Point.y in
+    if q.Point.x >= lx && q.Point.x <= hx && q.Point.y >= ly && q.Point.y <= hy
+       && (a.Point.x = b.Point.x && q.Point.x = a.Point.x
+           || a.Point.y = b.Point.y && q.Point.y = a.Point.y)
+    then on_boundary := true;
+    (* Ray cast towards +x, counting crossings of vertical edges. *)
+    if a.Point.x = b.Point.x && a.Point.x > q.Point.x then begin
+      let ylo = min a.Point.y b.Point.y and yhi = max a.Point.y b.Point.y in
+      if q.Point.y >= ylo && q.Point.y < yhi then inside := not !inside
+    end
+  done;
+  !on_boundary || !inside
+
+let is_rect p =
+  if Array.length p.ring = 4 then Some (bbox p) else None
+
+let rebuild_ring points = make points
+
+let equal p1 p2 =
+  Array.length p1.ring = Array.length p2.ring
+  &&
+  (* Rings are equal up to rotation of the start vertex. *)
+  let n = Array.length p1.ring in
+  let matches k =
+    let rec go i = i >= n || (Point.equal p1.ring.(i) p2.ring.((i + k) mod n) && go (i + 1)) in
+    go 0
+  in
+  let rec any k = k < n && (matches k || any (k + 1)) in
+  any 0
+
+let pp ppf p =
+  Format.fprintf ppf "@[<h>poly[%a]@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") Point.pp)
+    (vertices p)

@@ -1,0 +1,48 @@
+(** Simple rectilinear polygons.
+
+    A polygon is stored as its vertex ring in counter-clockwise order
+    with no repeated or collinear vertices.  Construction normalises the
+    input ring (orientation, collinear-vertex removal) and rejects rings
+    that are not rectilinear. *)
+
+type t
+
+(** [make vertices] builds a polygon from a closed ring given in either
+    winding order (the last vertex must not repeat the first).
+    @raise Invalid_argument if fewer than 4 vertices remain after
+    normalisation, or consecutive vertices are not axis-aligned. *)
+val make : Point.t list -> t
+
+val of_rect : Rect.t -> t
+
+(** Counter-clockwise vertex ring. *)
+val vertices : t -> Point.t list
+
+(** Directed boundary edges in counter-clockwise order. *)
+val edges : t -> Edge.t list
+
+val num_vertices : t -> int
+
+(** Signed shoelace area; always positive after normalisation. *)
+val area : t -> int
+
+val perimeter : t -> int
+
+val bbox : t -> Rect.t
+
+val translate : t -> Point.t -> t
+
+(** Point-in-polygon by ray casting; boundary points count as inside. *)
+val contains_point : t -> Point.t -> bool
+
+(** [is_rect p] is [Some r] when the polygon is exactly a rectangle. *)
+val is_rect : t -> Rect.t option
+
+(** [rebuild_ring points] re-normalises a raw ring that is already
+    rectilinear but may contain collinear runs or clockwise winding —
+    the inverse of taking [vertices].  Used by OPC reconstruction. *)
+val rebuild_ring : Point.t list -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

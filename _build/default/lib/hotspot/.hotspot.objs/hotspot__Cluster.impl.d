@@ -1,0 +1,1 @@
+lib/hotspot/cluster.ml: Float Format List Snippet

@@ -1,0 +1,1 @@
+lib/hotspot/cluster.mli: Format Snippet

@@ -1,0 +1,1 @@
+lib/hotspot/detect.ml: Float Format Geometry Layout List Litho Opc

@@ -1,0 +1,1 @@
+lib/hotspot/detect.mli: Format Geometry Layout Litho Opc

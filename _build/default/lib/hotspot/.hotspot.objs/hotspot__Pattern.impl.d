@@ -1,0 +1,1 @@
+lib/hotspot/pattern.ml: Bytes Format Geometry List Snippet

@@ -1,0 +1,1 @@
+lib/hotspot/pattern.mli: Format Geometry Snippet

@@ -1,0 +1,1 @@
+lib/hotspot/snippet.ml: Format Geometry List

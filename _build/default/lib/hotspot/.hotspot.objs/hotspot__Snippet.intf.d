@@ -1,0 +1,1 @@
+lib/hotspot/snippet.mli: Format Geometry

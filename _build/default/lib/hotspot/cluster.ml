@@ -1,0 +1,44 @@
+type cluster = {
+  representative : Snippet.t;
+  members : Snippet.t list;
+  worst_severity : float;
+}
+
+let incremental ~threshold items =
+  if threshold < 0.0 || threshold > 1.0 then
+    invalid_arg "Cluster.incremental: threshold out of [0, 1]";
+  let clusters = ref [] in
+  List.iter
+    (fun (snippet, severity) ->
+      let rec assign = function
+        | [] ->
+            clusters :=
+              !clusters
+              @ [ { representative = snippet; members = [ snippet ]; worst_severity = severity } ]
+        | c :: rest ->
+            if Snippet.similarity c.representative snippet >= threshold then begin
+              let c' =
+                {
+                  c with
+                  members = c.members @ [ snippet ];
+                  worst_severity = Float.max c.worst_severity severity;
+                }
+              in
+              clusters :=
+                List.map (fun k -> if k == c then c' else k) !clusters
+            end
+            else assign rest
+      in
+      assign !clusters)
+    items;
+  !clusters
+
+let total_members clusters =
+  List.fold_left (fun acc c -> acc + List.length c.members) 0 clusters
+
+let by_severity clusters =
+  List.sort (fun a b -> Float.compare b.worst_severity a.worst_severity) clusters
+
+let pp_cluster ppf c =
+  Format.fprintf ppf "cluster rep=%a members=%d worst=%.1fnm" Snippet.pp
+    c.representative (List.length c.members) c.worst_severity

@@ -1,0 +1,24 @@
+(** Incremental geometric clustering of hotspot snippets.
+
+    Each incoming snippet joins the first cluster whose representative
+    is at least [threshold]-similar; otherwise it founds a new cluster
+    — the fast single-pass scheme used for very large hotspot datasets
+    (Ma et al.).  Clusters end up ordered by first appearance. *)
+
+type cluster = {
+  representative : Snippet.t;
+  members : Snippet.t list;  (** includes the representative *)
+  worst_severity : float;
+}
+
+(** [incremental ~threshold items] clusters (snippet, severity) pairs.
+    [threshold] in [0, 1]; higher is stricter. *)
+val incremental : threshold:float -> (Snippet.t * float) list -> cluster list
+
+(** Total members across clusters (= input length). *)
+val total_members : cluster list -> int
+
+(** Clusters sorted by descending worst severity. *)
+val by_severity : cluster list -> cluster list
+
+val pp_cluster : Format.formatter -> cluster -> unit

@@ -1,0 +1,32 @@
+module G = Geometry
+
+type t = {
+  origin : G.Point.t;
+  radius : int;
+  geometry : G.Region.t;
+}
+
+let capture ~source ~radius p =
+  let window = G.Rect.of_center ~cx:p.G.Point.x ~cy:p.G.Point.y ~w:(2 * radius) ~h:(2 * radius) in
+  let clip = G.Region.of_rect window in
+  let shapes = source window in
+  let region =
+    List.fold_left
+      (fun acc poly -> G.Region.union acc (G.Region.inter clip (G.Region.of_polygon poly)))
+      G.Region.empty shapes
+  in
+  { origin = p; radius; geometry = G.Region.translate region (G.Point.neg p) }
+
+let similarity a b =
+  if a.radius <> b.radius then invalid_arg "Snippet.similarity: radius mismatch";
+  let inter = G.Region.area (G.Region.inter a.geometry b.geometry) in
+  let union = G.Region.area (G.Region.union a.geometry b.geometry) in
+  if union = 0 then 1.0 else float_of_int inter /. float_of_int union
+
+let density t =
+  let window = 4 * t.radius * t.radius in
+  float_of_int (G.Region.area t.geometry) /. float_of_int window
+
+let pp ppf t =
+  Format.fprintf ppf "snippet@%a r=%d density=%.3f" G.Point.pp t.origin t.radius
+    (density t)

@@ -1,0 +1,29 @@
+(** Layout snippets: small clips of layer geometry around a point of
+    interest, normalised so geometric similarity can be compared
+    independent of absolute position.  The unit of hotspot
+    classification (Ma/Ghan/Capodieci-style clustering). *)
+
+type t = {
+  origin : Geometry.Point.t;  (** where the clip was taken (chip coords) *)
+  radius : int;  (** half-edge of the square window, nm *)
+  geometry : Geometry.Region.t;  (** clipped geometry, recentred at (0,0) *)
+}
+
+(** [capture ~source ~radius p] clips all shapes returned by [source]
+    around [p] and recentres them. *)
+val capture :
+  source:(Geometry.Rect.t -> Geometry.Polygon.t list) ->
+  radius:int ->
+  Geometry.Point.t ->
+  t
+
+(** Jaccard similarity of the two clips' geometry (intersection over
+    union of area); 1.0 for identical patterns, 0.0 for disjoint.
+    Windows must have equal radius.
+    @raise Invalid_argument on radius mismatch. *)
+val similarity : t -> t -> float
+
+(** Pattern density: geometry area / window area. *)
+val density : t -> float
+
+val pp : Format.formatter -> t -> unit

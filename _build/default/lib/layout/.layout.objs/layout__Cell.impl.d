@@ -1,0 +1,1 @@
+lib/layout/cell.ml: Format Geometry Layer List String

@@ -1,0 +1,1 @@
+lib/layout/cell.mli: Format Geometry Layer

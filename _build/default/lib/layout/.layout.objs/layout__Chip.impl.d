@@ -1,0 +1,1 @@
+lib/layout/chip.ml: Cell Format Geometry Hashtbl Layer List Printf String Tech

@@ -1,0 +1,1 @@
+lib/layout/chip.mli: Cell Format Geometry Layer Tech

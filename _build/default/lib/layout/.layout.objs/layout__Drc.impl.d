@@ -1,0 +1,1 @@
+lib/layout/drc.ml: Chip Format Geometry Hashtbl Layer List Tech

@@ -1,0 +1,1 @@
+lib/layout/drc.mli: Chip Format Geometry Layer Tech

@@ -1,0 +1,1 @@
+lib/layout/io.ml: Chip Format Geometry Layer List Printf String

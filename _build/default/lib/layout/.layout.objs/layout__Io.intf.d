@@ -1,0 +1,1 @@
+lib/layout/io.mli: Chip Format Geometry Layer

@@ -1,0 +1,1 @@
+lib/layout/layer.ml: Format List Stdlib

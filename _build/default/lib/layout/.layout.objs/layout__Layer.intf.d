@@ -1,0 +1,1 @@
+lib/layout/layer.mli: Format

@@ -1,0 +1,1 @@
+lib/layout/placer.ml: Array Cell Chip Geometry List Printf Stats Stdcell String Tech

@@ -1,0 +1,1 @@
+lib/layout/placer.mli: Chip Stats Tech

@@ -1,0 +1,1 @@
+lib/layout/stdcell.ml: Cell Geometry Hashtbl Layer List Printf Tech

@@ -1,0 +1,1 @@
+lib/layout/stdcell.mli: Cell Tech

@@ -1,0 +1,1 @@
+lib/layout/tech.ml: Format Layer Printf

@@ -1,0 +1,1 @@
+lib/layout/tech.mli: Format Layer

@@ -1,0 +1,114 @@
+module G = Geometry
+
+type violation = {
+  rule : string;
+  layer : Layer.t;
+  at : G.Rect.t;
+  measured : int;
+  required : int;
+}
+
+type report = { checked : int; violations : violation list }
+
+let check_width tech layer polys =
+  let required = Tech.min_width tech layer in
+  List.concat_map
+    (fun p ->
+      let rects = G.Region.to_rects (G.Region.of_polygon p) in
+      List.filter_map
+        (fun r ->
+          (* A slab narrower than the rule is only a violation when the
+             polygon itself is that narrow there; the slab decomposition
+             can cut wide shapes into thin bands, so re-measure against
+             the polygon bbox to avoid false positives on jogs. *)
+          let w = min (G.Rect.width r) (G.Rect.height r) in
+          let bb = G.Polygon.bbox p in
+          let poly_min = min (G.Rect.width bb) (G.Rect.height bb) in
+          let measured = max w poly_min in
+          if measured < required then
+            Some { rule = "min_width"; layer; at = r; measured; required }
+          else None)
+        rects)
+    polys
+
+let check_spacing tech layer polys =
+  let required = Tech.min_space tech layer in
+  let index = G.Spatial.create ~bucket:(max 500 (required * 8)) in
+  List.iteri (fun i p -> G.Spatial.insert index (G.Polygon.bbox p) (i, p)) polys;
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  List.iteri
+    (fun i p ->
+      let bb = G.Polygon.bbox p in
+      let near = G.Spatial.nearby index bb ~halo:required in
+      List.iter
+        (fun (obb, (j, _)) ->
+          if j > i && not (Hashtbl.mem seen (i, j)) then begin
+            Hashtbl.add seen (i, j) ();
+            let dx, dy = G.Rect.separation bb obb in
+            (* Diagonal neighbours measure corner-to-corner; the rule
+               applies to the euclidean gap, checked conservatively on
+               the max axis gap when both are positive. *)
+            let measured = if dx > 0 && dy > 0 then max dx dy else dx + dy in
+            if measured > 0 && measured < required then
+              out :=
+                { rule = "min_space"; layer; at = G.Rect.hull bb obb; measured; required }
+                :: !out
+          end)
+        near)
+    polys;
+  !out
+
+let check_enclosure tech ~contacts ~by ~enclosing =
+  let required =
+    match by with
+    | Layer.Poly -> tech.Tech.contact_poly_enclosure
+    | Layer.Active -> tech.Tech.contact_active_enclosure
+    | Layer.Metal1 | Layer.Metal2 | Layer.Via1 | Layer.Contact | Layer.Nwell ->
+        tech.Tech.contact_poly_enclosure
+  in
+  let index = G.Spatial.create ~bucket:2000 in
+  List.iter (fun p -> G.Spatial.insert index (G.Polygon.bbox p) p) enclosing;
+  List.filter_map
+    (fun c ->
+      let cb = G.Polygon.bbox c in
+      let covered =
+        List.exists
+          (fun (_, p) -> G.Rect.contains (G.Rect.inflate (G.Polygon.bbox p) (-required)) cb)
+          (G.Spatial.nearby index cb ~halo:required)
+      in
+      if covered then None
+      else
+        Some
+          { rule = "enclosure"; layer = by; at = cb; measured = 0; required })
+    contacts
+
+let check_chip chip =
+  let tech = Chip.tech chip in
+  let layers = [ Layer.Poly; Layer.Active; Layer.Metal1 ] in
+  let shape_checks =
+    List.concat_map
+      (fun layer ->
+        let polys = Chip.flatten_layer chip layer in
+        check_width tech layer polys @ check_spacing tech layer polys)
+      layers
+  in
+  (* Contacts inside cells land on active or poly pads; only check
+     active enclosure, the generator never puts contacts on poly. *)
+  let contacts = Chip.flatten_layer chip Layer.Contact in
+  let actives = Chip.flatten_layer chip Layer.Active in
+  let enc = check_enclosure tech ~contacts ~by:Layer.Active ~enclosing:actives in
+  let checked =
+    List.fold_left (fun acc l -> acc + List.length (Chip.flatten_layer chip l)) 0 layers
+    + List.length contacts
+  in
+  { checked; violations = shape_checks @ enc }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s on %a at %a: %d < %d" v.rule Layer.pp v.layer G.Rect.pp
+    v.at v.measured v.required
+
+let pp_report ppf r =
+  Format.fprintf ppf "DRC: %d shapes checked, %d violations" r.checked
+    (List.length r.violations);
+  List.iter (fun v -> Format.fprintf ppf "@,  %a" pp_violation v) r.violations

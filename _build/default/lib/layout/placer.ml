@@ -1,0 +1,61 @@
+module G = Geometry
+
+type config = {
+  row_width : int;
+  fill_probability : float;
+  max_fill_pitches : int;
+}
+
+let default_config =
+  { row_width = 40_000; fill_probability = 0.35; max_fill_pitches = 3 }
+
+let place tech config rng cells =
+  let chip = Chip.create tech in
+  let row_pitch = tech.Tech.cell_height + tech.Tech.row_spacing in
+  let fill_count = ref 0 in
+  let x = ref 0 and row = ref 0 in
+  let place_one ~iname ~(cell : Cell.t) =
+    if !x + cell.Cell.width > config.row_width && !x > 0 then begin
+      x := 0;
+      incr row
+    end;
+    let y = !row * row_pitch in
+    let orient =
+      (* Alternate rows are flipped about x to share rails. *)
+      if !row mod 2 = 0 then G.Transform.R0 else G.Transform.MX
+    in
+    let offset =
+      match orient with
+      | G.Transform.R0 -> G.Point.make !x y
+      | G.Transform.MX -> G.Point.make !x (y + tech.Tech.cell_height)
+      | _ -> assert false
+    in
+    Chip.add chip ~iname ~cell (G.Transform.make ~orient offset);
+    x := !x + cell.Cell.width
+  in
+  let maybe_fill () =
+    if Stats.Rng.float rng < config.fill_probability then begin
+      let pitches = 1 + Stats.Rng.int rng (max 1 config.max_fill_pitches) in
+      let cell = Stdcell.filler tech ~pitches ~dummy_poly:(Stats.Rng.bool rng) in
+      incr fill_count;
+      place_one ~iname:(Printf.sprintf "fill%d" !fill_count) ~cell
+    end
+  in
+  List.iter
+    (fun (iname, cname) ->
+      place_one ~iname ~cell:(Stdcell.find tech cname);
+      maybe_fill ())
+    cells;
+  chip
+
+let random_block tech config rng ~n =
+  let pool =
+    List.filter
+      (fun name -> not (String.length name >= 4 && String.sub name 0 4 = "FILL"))
+      Stdcell.names
+    |> Array.of_list
+  in
+  let cells =
+    List.init n (fun i -> (Printf.sprintf "u%d" i, Stats.Rng.choose rng pool))
+  in
+  place tech config rng cells

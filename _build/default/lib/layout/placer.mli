@@ -1,0 +1,25 @@
+(** Row-based placement.
+
+    Packs cells left-to-right into rows of a target width, flipping
+    alternate rows (MX) as real placers do to share power rails, and
+    optionally inserting filler gaps so the poly context varies between
+    dense and isolated.  Deterministic given the generator. *)
+
+type config = {
+  row_width : int;  (** target row width, nm *)
+  fill_probability : float;  (** chance of a filler gap after each cell *)
+  max_fill_pitches : int;  (** filler width, uniform in 1..max pitches *)
+}
+
+val default_config : config
+
+(** [place tech config rng cells] places named cells in input order.
+    Cell names must exist in [Stdcell.library tech].
+    Returns the chip; filler instances are named ["fill<k>"]. *)
+val place :
+  Tech.t -> config -> Stats.Rng.t -> (string * string) list -> Chip.t
+
+(** [random_block tech config rng ~n] places [n] random logic cells
+    (uniform over the non-filler library) — a quick way to build a
+    realistic poly neighbourhood without a netlist. *)
+val random_block : Tech.t -> config -> Stats.Rng.t -> n:int -> Chip.t

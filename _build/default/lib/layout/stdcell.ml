@@ -1,0 +1,194 @@
+type column = { has_n : bool; has_p : bool; strap : bool }
+
+let rect ~lx ~ly ~hx ~hy = Geometry.Rect.make ~lx ~ly ~hx ~hy
+
+let shape layer r = { Cell.layer; poly = Geometry.Polygon.of_rect r }
+
+(* Vertical band geometry shared by all cells of a technology. *)
+let bands (t : Tech.t) =
+  let n_ly = 300 in
+  let n_hy = n_ly + t.Tech.nmos_width in
+  let p_hy = t.Tech.cell_height - 300 in
+  let p_ly = p_hy - t.Tech.pmos_width in
+  (n_ly, n_hy, p_ly, p_hy)
+
+let column_x (t : Tech.t) i = t.Tech.poly_pitch * (i + 1)
+
+let generate (t : Tech.t) ~cname ~inputs columns =
+  let ncols = List.length columns in
+  if ncols = 0 then invalid_arg "Stdcell.generate: no columns";
+  let width = t.Tech.poly_pitch * (ncols + 1) in
+  let height = t.Tech.cell_height in
+  let half_l = t.Tech.gate_length / 2 in
+  let n_ly, n_hy, p_ly, p_hy = bands t in
+  let xs = List.mapi (fun i _ -> column_x t i) columns in
+  let x_first = List.hd xs and x_last = List.nth xs (ncols - 1) in
+  (* Active bands span all columns plus source/drain extensions. *)
+  let n_cols = List.exists (fun c -> c.has_n) columns in
+  let p_cols = List.exists (fun c -> c.has_p) columns in
+  let active_lx = x_first - half_l - t.Tech.sd_extension in
+  let active_hx = x_last + half_l + t.Tech.sd_extension in
+  let actives =
+    (if n_cols then [ shape Layer.Active (rect ~lx:active_lx ~ly:n_ly ~hx:active_hx ~hy:n_hy) ] else [])
+    @
+    if p_cols then [ shape Layer.Active (rect ~lx:active_lx ~ly:p_ly ~hx:active_hx ~hy:p_hy) ]
+    else []
+  in
+  let nwell =
+    if p_cols then
+      [ shape Layer.Nwell (rect ~lx:0 ~ly:(height / 2) ~hx:width ~hy:height) ]
+    else []
+  in
+  (* Poly stripes: one per column, crossing the bands it gates. *)
+  let poly_of_column i c =
+    let xc = column_x t i in
+    let ly = if c.has_n then n_ly - t.Tech.poly_endcap else p_ly - t.Tech.poly_endcap in
+    let hy = if c.has_p then p_hy + t.Tech.poly_endcap else n_hy + t.Tech.poly_endcap in
+    let stripe = rect ~lx:(xc - half_l) ~ly ~hx:(xc + half_l) ~hy in
+    if not c.strap then [ shape Layer.Poly stripe ]
+    else begin
+      (* L-shaped strap: horizontal poly landing pad in the mid-cell
+         routing channel, creating a bend near the P-band gate edge. *)
+      let strap_w = t.Tech.poly_min_width + 20 in
+      let ymid = (n_hy + p_ly) / 2 in
+      (* Strap reach is bounded so the gap to the next column's stripe
+         (at pitch - len - gate_length/2 ... ) stays >= poly_min_space. *)
+      let strap_len = t.Tech.poly_pitch / 2 in
+      let strap_rect =
+        rect ~lx:(xc - half_l) ~ly:(ymid - (strap_w / 2))
+          ~hx:(xc - half_l + strap_len) ~hy:(ymid + (strap_w / 2))
+      in
+      [ shape Layer.Poly stripe; shape Layer.Poly strap_rect ]
+    end
+  in
+  let polys = List.concat (List.mapi poly_of_column columns) in
+  (* Contacts in the source/drain gaps, centred vertically in bands. *)
+  let cs = t.Tech.contact_size in
+  let contact_at x yc = rect ~lx:(x - (cs / 2)) ~ly:(yc - (cs / 2)) ~hx:(x + (cs / 2)) ~hy:(yc + (cs / 2)) in
+  let sd_xs =
+    (* End contacts sit as far out as active enclosure allows; inner
+       contacts at the gap midpoints between columns. *)
+    let end_off = half_l + t.Tech.sd_extension - t.Tech.contact_active_enclosure - (cs / 2) in
+    let inner = List.filter (fun x -> x < x_last) xs in
+    (x_first - end_off)
+    :: (x_last + end_off)
+    :: List.map (fun x -> x + (t.Tech.poly_pitch / 2)) inner
+  in
+  let contacts =
+    List.concat_map
+      (fun x ->
+        (if n_cols then [ shape Layer.Contact (contact_at x ((n_ly + n_hy) / 2)) ] else [])
+        @
+        if p_cols then [ shape Layer.Contact (contact_at x ((p_ly + p_hy) / 2)) ]
+        else [])
+      sd_xs
+  in
+  (* Power rails and simple M1 pin stubs. *)
+  let rail_w = 2 * t.Tech.metal1_min_width in
+  let rails =
+    [ shape Layer.Metal1 (rect ~lx:0 ~ly:(-rail_w / 2) ~hx:width ~hy:(rail_w / 2));
+      shape Layer.Metal1 (rect ~lx:0 ~ly:(height - (rail_w / 2)) ~hx:width ~hy:(height + (rail_w / 2))) ]
+  in
+  let pin_rect i =
+    let xc = column_x t (i mod ncols) in
+    let w = t.Tech.metal1_min_width in
+    rect ~lx:(xc - (w / 2)) ~ly:((height / 2) - 200) ~hx:(xc + (w / 2)) ~hy:((height / 2) + 200)
+  in
+  let input_pins = List.mapi (fun i pname -> (pname, Layer.Metal1, pin_rect i)) inputs in
+  let out_rect =
+    let w = t.Tech.metal1_min_width in
+    rect ~lx:(width - t.Tech.poly_pitch + 40) ~ly:((height / 2) - 200)
+      ~hx:(width - t.Tech.poly_pitch + 40 + w) ~hy:((height / 2) + 200)
+  in
+  let pins = input_pins @ [ ("Y", Layer.Metal1, out_rect) ] in
+  let pin_shapes = List.map (fun (_, layer, r) -> shape layer r) pins in
+  (* Transistor records: the drawn gate is poly ∩ active. *)
+  let transistors =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           let xc = column_x t i in
+           let gate_rect ly hy = rect ~lx:(xc - half_l) ~ly ~hx:(xc + half_l) ~hy in
+           (if c.has_n then
+              [ { Cell.tname = Printf.sprintf "MN%d" i;
+                  kind = Cell.Nmos;
+                  gate = gate_rect n_ly n_hy;
+                  drawn_l = t.Tech.gate_length;
+                  drawn_w = t.Tech.nmos_width;
+                  bent = c.strap } ]
+            else [])
+           @
+           if c.has_p then
+             [ { Cell.tname = Printf.sprintf "MP%d" i;
+                 kind = Cell.Pmos;
+                 gate = gate_rect p_ly p_hy;
+                 drawn_l = t.Tech.gate_length;
+                 drawn_w = t.Tech.pmos_width;
+                 bent = c.strap } ]
+           else [])
+         columns)
+  in
+  Cell.make ~cname ~width ~height
+    ~shapes:(actives @ nwell @ polys @ contacts @ rails @ pin_shapes)
+    ~transistors ~pins
+
+let full = { has_n = true; has_p = true; strap = false }
+
+let strapped = { full with strap = true }
+
+let specs =
+  [
+    ("INV_X1", [ "A" ], [ full ]);
+    ("INV_X2", [ "A" ], [ full; full ]);
+    ("INV_X4", [ "A" ], [ full; full; full; full ]);
+    ("BUF_X1", [ "A" ], [ full; full ]);
+    ("NAND2_X1", [ "A"; "B" ], [ full; full ]);
+    ("NAND2_X2", [ "A"; "B" ], [ full; full; full; full ]);
+    ("NOR2_X1", [ "A"; "B" ], [ full; strapped ]);
+    ("NAND3_X1", [ "A"; "B"; "C" ], [ full; full; full ]);
+    ("NOR3_X1", [ "A"; "B"; "C" ], [ full; strapped; full ]);
+    ("AOI21_X1", [ "A"; "B"; "C" ], [ full; strapped; full ]);
+    ("OAI21_X1", [ "A"; "B"; "C" ], [ strapped; full; full ]);
+    ("XOR2_X1", [ "A"; "B" ], [ full; strapped; strapped; full ]);
+    ("DFF_X1", [ "D"; "CK" ], [ full; strapped; full; full; strapped; full ]);
+  ]
+
+let names = List.map (fun (n, _, _) -> n) specs @ [ "FILL1"; "FILL2" ]
+
+let filler (t : Tech.t) ~pitches ~dummy_poly =
+  let width = t.Tech.poly_pitch * pitches in
+  let height = t.Tech.cell_height in
+  let n_ly, _, _, p_hy = bands t in
+  let shapes =
+    if not dummy_poly then []
+    else
+      (* Dummy stripes keep poly density continuous across fillers. *)
+      List.init pitches (fun i ->
+          let xc = (t.Tech.poly_pitch * i) + (t.Tech.poly_pitch / 2) in
+          let half = t.Tech.poly_min_width / 2 in
+          shape Layer.Poly
+            (rect ~lx:(xc - half) ~ly:(n_ly - t.Tech.poly_endcap) ~hx:(xc + half)
+               ~hy:(p_hy + t.Tech.poly_endcap)))
+  in
+  Cell.make
+    ~cname:(if dummy_poly then Printf.sprintf "FILL%dD" pitches else Printf.sprintf "FILL%d" pitches)
+    ~width ~height ~shapes ~transistors:[] ~pins:[]
+
+let cache : (string, (string * Cell.t) list) Hashtbl.t = Hashtbl.create 4
+
+let library t =
+  match Hashtbl.find_opt cache t.Tech.name with
+  | Some lib -> lib
+  | None ->
+      let lib =
+        List.map (fun (cname, inputs, cols) -> (cname, generate t ~cname ~inputs cols)) specs
+        @ [ ("FILL1", filler t ~pitches:1 ~dummy_poly:false);
+            ("FILL2", filler t ~pitches:2 ~dummy_poly:false) ]
+      in
+      Hashtbl.add cache t.Tech.name lib;
+      lib
+
+let find t name =
+  match List.assoc_opt name (library t) with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Stdcell.find: unknown cell %s" name)

@@ -1,0 +1,88 @@
+type t = {
+  name : string;
+  gate_length : int;
+  poly_pitch : int;
+  poly_min_width : int;
+  poly_min_space : int;
+  poly_endcap : int;
+  active_min_width : int;
+  active_min_space : int;
+  sd_extension : int;
+  contact_size : int;
+  contact_space : int;
+  contact_poly_enclosure : int;
+  contact_active_enclosure : int;
+  metal1_min_width : int;
+  metal1_min_space : int;
+  cell_height : int;
+  nmos_width : int;
+  pmos_width : int;
+  row_spacing : int;
+}
+
+let node90 =
+  {
+    name = "node90";
+    gate_length = 90;
+    poly_pitch = 350;
+    poly_min_width = 90;
+    poly_min_space = 160;
+    poly_endcap = 120;
+    active_min_width = 200;
+    active_min_space = 220;
+    sd_extension = 190;
+    contact_size = 120;
+    contact_space = 160;
+    contact_poly_enclosure = 30;
+    contact_active_enclosure = 40;
+    metal1_min_width = 120;
+    metal1_min_space = 140;
+    cell_height = 2560;
+    nmos_width = 600;
+    pmos_width = 900;
+    row_spacing = 200;
+  }
+
+let scale_dim ~num ~den v = max 1 (v * num / den)
+
+let scale t ~num ~den =
+  let s = scale_dim ~num ~den in
+  {
+    name = Printf.sprintf "%s_x%d/%d" t.name num den;
+    gate_length = s t.gate_length;
+    poly_pitch = s t.poly_pitch;
+    poly_min_width = s t.poly_min_width;
+    poly_min_space = s t.poly_min_space;
+    poly_endcap = s t.poly_endcap;
+    active_min_width = s t.active_min_width;
+    active_min_space = s t.active_min_space;
+    sd_extension = s t.sd_extension;
+    contact_size = s t.contact_size;
+    contact_space = s t.contact_space;
+    contact_poly_enclosure = s t.contact_poly_enclosure;
+    contact_active_enclosure = s t.contact_active_enclosure;
+    metal1_min_width = s t.metal1_min_width;
+    metal1_min_space = s t.metal1_min_space;
+    cell_height = s t.cell_height;
+    nmos_width = s t.nmos_width;
+    pmos_width = s t.pmos_width;
+    row_spacing = s t.row_spacing;
+  }
+
+let min_width t = function
+  | Layer.Poly -> t.poly_min_width
+  | Layer.Active -> t.active_min_width
+  | Layer.Contact | Layer.Via1 -> t.contact_size
+  | Layer.Metal1 | Layer.Metal2 -> t.metal1_min_width
+  | Layer.Nwell -> t.active_min_width * 2
+
+let min_space t = function
+  | Layer.Poly -> t.poly_min_space
+  | Layer.Active -> t.active_min_space
+  | Layer.Contact | Layer.Via1 -> t.contact_space
+  | Layer.Metal1 | Layer.Metal2 -> t.metal1_min_space
+  | Layer.Nwell -> t.active_min_space * 2
+
+let pp ppf t =
+  Format.fprintf ppf "%s: L=%dnm pitch=%dnm cell_h=%dnm" t.name t.gate_length
+    t.poly_pitch t.cell_height

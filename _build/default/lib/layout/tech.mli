@@ -1,0 +1,42 @@
+(** Technology description: the handful of design-rule values the cell
+    generator, DRC checker and litho/OPC recipes agree on.
+
+    Numbers model a 90 nm-like logic node.  Only ratios matter for the
+    reproduced experiments (see DESIGN.md, substitution record). *)
+
+type t = {
+  name : string;
+  gate_length : int;  (** drawn transistor gate length, nm *)
+  poly_pitch : int;  (** contacted poly pitch, nm *)
+  poly_min_width : int;
+  poly_min_space : int;
+  poly_endcap : int;  (** poly extension past active *)
+  active_min_width : int;
+  active_min_space : int;
+  sd_extension : int;  (** active extension past gate (source/drain) *)
+  contact_size : int;
+  contact_space : int;
+  contact_poly_enclosure : int;
+  contact_active_enclosure : int;
+  metal1_min_width : int;
+  metal1_min_space : int;
+  cell_height : int;
+  nmos_width : int;  (** default N device width in the cell template *)
+  pmos_width : int;  (** default P device width *)
+  row_spacing : int;  (** vertical gap between placement rows *)
+}
+
+(** The 90 nm-like node used throughout the reproduction. *)
+val node90 : t
+
+(** A scaled node for scalability experiments: all linear dimensions
+    multiplied by [num/den] (rounded to grid). *)
+val scale : t -> num:int -> den:int -> t
+
+(** Minimum width rule for a layer (conservative default for layers the
+    record does not single out). *)
+val min_width : t -> Layer.t -> int
+
+val min_space : t -> Layer.t -> int
+
+val pp : Format.formatter -> t -> unit

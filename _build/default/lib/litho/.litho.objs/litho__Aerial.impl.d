@@ -1,0 +1,1 @@
+lib/litho/aerial.ml: Array Blur Condition Geometry Layout List Model Raster

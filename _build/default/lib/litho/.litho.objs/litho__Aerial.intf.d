@@ -1,0 +1,1 @@
+lib/litho/aerial.mli: Condition Geometry Layout Model Raster

@@ -1,0 +1,1 @@
+lib/litho/blur.ml: Array Float Raster

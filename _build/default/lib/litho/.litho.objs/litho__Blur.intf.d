@@ -1,0 +1,1 @@
+lib/litho/blur.mli: Raster

@@ -1,0 +1,1 @@
+lib/litho/condition.ml: Format List

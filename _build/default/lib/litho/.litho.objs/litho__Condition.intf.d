@@ -1,0 +1,1 @@
+lib/litho/condition.mli: Format

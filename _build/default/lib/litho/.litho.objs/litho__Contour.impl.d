@@ -1,0 +1,1 @@
+lib/litho/contour.ml: Float Geometry Hashtbl List Raster

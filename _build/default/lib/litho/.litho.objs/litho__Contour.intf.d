@@ -1,0 +1,1 @@
+lib/litho/contour.mli: Geometry Raster

@@ -1,0 +1,1 @@
+lib/litho/metrology.ml: Raster

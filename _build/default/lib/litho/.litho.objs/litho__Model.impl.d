@@ -1,0 +1,1 @@
+lib/litho/model.ml: Condition Float Format List

@@ -1,0 +1,1 @@
+lib/litho/model.mli: Condition Format

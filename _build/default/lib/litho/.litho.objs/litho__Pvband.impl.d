@@ -1,0 +1,1 @@
+lib/litho/pvband.ml: Aerial Format Geometry List Model Raster

@@ -1,0 +1,1 @@
+lib/litho/pvband.mli: Condition Format Geometry Model

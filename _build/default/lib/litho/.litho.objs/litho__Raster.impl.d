@@ -1,0 +1,1 @@
+lib/litho/raster.ml: Array Float Geometry List

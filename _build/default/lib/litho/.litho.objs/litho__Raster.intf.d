@@ -1,0 +1,1 @@
+lib/litho/raster.mli: Geometry

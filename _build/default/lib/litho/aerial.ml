@@ -1,0 +1,54 @@
+module G = Geometry
+
+let mask_raster (model : Model.t) ~window polygons =
+  let raster =
+    Raster.of_window ~window ~halo:model.Model.halo ~step:model.Model.step
+  in
+  List.iter (Raster.paint_polygon raster) polygons;
+  (* Clamp: overlapping input shapes (e.g. a strap joining a stripe)
+     must not double-expose the mask. *)
+  let data = Raster.unsafe_data raster in
+  for i = 0 to Array.length data - 1 do
+    if data.(i) > 1.0 then data.(i) <- 1.0
+  done;
+  raster
+
+let simulate (model : Model.t) (condition : Condition.t) ~window polygons =
+  let mask = mask_raster model ~window polygons in
+  let intensity = Raster.copy mask in
+  Raster.fill intensity 0.0;
+  List.iter
+    (fun (k : Model.kernel) ->
+      let sigma = Model.effective_sigma model k ~defocus:condition.Condition.defocus in
+      let blurred = Raster.copy mask in
+      Blur.gaussian blurred ~sigma_px:(sigma /. model.Model.step);
+      Raster.blend ~dst:intensity ~src:blurred ~w:k.Model.weight)
+    model.Model.kernels;
+  intensity
+
+let calibrate (model : Model.t) (tech : Layout.Tech.t) =
+  (* Reference pattern: a dense array of vertical lines at drawn gate
+     length and contacted pitch.  The printed edge sits where the
+     intensity equals the threshold, so the intensity at the drawn edge
+     position is exactly the threshold that pins printed CD = drawn. *)
+  let l = tech.Layout.Tech.gate_length in
+  let pitch = tech.Layout.Tech.poly_pitch in
+  let nlines = 9 in
+  let height = 4000 in
+  let lines =
+    List.init nlines (fun i ->
+        let xc = pitch * i in
+        G.Polygon.of_rect
+          (G.Rect.make ~lx:(xc - (l / 2)) ~ly:0 ~hx:(xc + (l / 2)) ~hy:height))
+  in
+  let center = pitch * (nlines / 2) in
+  let window =
+    G.Rect.make ~lx:(center - pitch)
+      ~ly:((height / 2) - 500)
+      ~hx:(center + pitch)
+      ~hy:((height / 2) + 500)
+  in
+  let intensity = simulate model Condition.nominal ~window lines in
+  let edge_x = float_of_int center +. (float_of_int l /. 2.0) in
+  let threshold = Raster.sample intensity edge_x (float_of_int (height / 2)) in
+  Model.with_threshold model threshold

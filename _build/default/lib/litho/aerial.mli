@@ -1,0 +1,25 @@
+(** Aerial-image simulation.
+
+    [simulate model condition ~window polygons] rasterises the mask
+    polygons over [window] plus the model halo and convolves with the
+    defocus-adjusted kernel stack.  The returned raster holds relative
+    intensity (1.0 deep inside large features); apply
+    {!Model.printed_threshold} to decide printing. *)
+
+val simulate :
+  Model.t ->
+  Condition.t ->
+  window:Geometry.Rect.t ->
+  Geometry.Polygon.t list ->
+  Raster.t
+
+(** The rasterised (clamped, anti-aliased) mask without convolution;
+    exposed for tests and debugging. *)
+val mask_raster :
+  Model.t -> window:Geometry.Rect.t -> Geometry.Polygon.t list -> Raster.t
+
+(** [calibrate model tech] sets the resist threshold so that a dense
+    line array at drawn gate length prints at exactly the drawn CD
+    under the nominal condition — a centred process.  The threshold is
+    read off the simulated intensity at the drawn edge position. *)
+val calibrate : Model.t -> Layout.Tech.t -> Model.t

@@ -1,0 +1,137 @@
+type fpoint = { fx : float; fy : float }
+
+(* Marching squares: each raster cell (2x2 pixel block) contributes 0,
+   1 or 2 oriented segments; segments are then stitched end-to-start
+   into polylines.  Endpoints are quantised for hashing. *)
+
+let quantise v = int_of_float (Float.round (v *. 16.0))
+
+let trace raster ~threshold =
+  let nx = Raster.nx raster and ny = Raster.ny raster in
+  let value ix iy = Raster.get raster ix iy -. threshold in
+  (* Interpolated crossing on the cell edge between two pixel centres. *)
+  let lerp a b = if Float.abs (a -. b) < 1e-12 then 0.5 else a /. (a -. b) in
+  let px ix = Raster.x_of_ix raster ix and py iy = Raster.y_of_iy raster iy in
+  let segments = ref [] in
+  for iy = 0 to ny - 2 do
+    for ix = 0 to nx - 2 do
+      let v00 = value ix iy and v10 = value (ix + 1) iy in
+      let v01 = value ix (iy + 1) and v11 = value (ix + 1) (iy + 1) in
+      let code =
+        (if v00 >= 0.0 then 1 else 0)
+        lor (if v10 >= 0.0 then 2 else 0)
+        lor (if v11 >= 0.0 then 4 else 0)
+        lor if v01 >= 0.0 then 8 else 0
+      in
+      (* Edge midpoints with interpolation: bottom, right, top, left. *)
+      let bottom () = { fx = px ix +. (lerp v00 v10 *. (px (ix + 1) -. px ix)); fy = py iy } in
+      let right () = { fx = px (ix + 1); fy = py iy +. (lerp v10 v11 *. (py (iy + 1) -. py iy)) } in
+      let top () = { fx = px ix +. (lerp v01 v11 *. (px (ix + 1) -. px ix)); fy = py (iy + 1) } in
+      let left () = { fx = px ix; fy = py iy +. (lerp v00 v01 *. (py (iy + 1) -. py iy)) } in
+      let add a b = segments := (a, b) :: !segments in
+      (* Orientation: interior (>= 0) kept on the left of a->b. *)
+      match code with
+      | 0 | 15 -> ()
+      | 1 -> add (left ()) (bottom ())
+      | 2 -> add (bottom ()) (right ())
+      | 3 -> add (left ()) (right ())
+      | 4 -> add (right ()) (top ())
+      | 5 ->
+          (* Saddle: resolve by centre average. *)
+          let centre = (v00 +. v10 +. v01 +. v11) /. 4.0 in
+          if centre >= 0.0 then begin
+            add (left ()) (top ());
+            add (right ()) (bottom ())
+          end
+          else begin
+            add (left ()) (bottom ());
+            add (right ()) (top ())
+          end
+      | 6 -> add (bottom ()) (top ())
+      | 7 -> add (left ()) (top ())
+      | 8 -> add (top ()) (left ())
+      | 9 -> add (top ()) (bottom ())
+      | 10 ->
+          let centre = (v00 +. v10 +. v01 +. v11) /. 4.0 in
+          if centre >= 0.0 then begin
+            add (top ()) (right ());
+            add (bottom ()) (left ())
+          end
+          else begin
+            add (top ()) (left ());
+            add (bottom ()) (right ())
+          end
+      | 11 -> add (top ()) (right ())
+      | 12 -> add (right ()) (left ())
+      | 13 -> add (right ()) (bottom ())
+      | 14 -> add (bottom ()) (left ())
+      | _ -> assert false
+    done
+  done;
+  (* Stitch segments into polylines: map from quantised start point to
+     segment, then follow chains. *)
+  let by_start = Hashtbl.create (List.length !segments) in
+  List.iter
+    (fun ((a, _) as seg) -> Hashtbl.add by_start (quantise a.fx, quantise a.fy) seg)
+    !segments;
+  let used = Hashtbl.create (List.length !segments) in
+  let key (a : fpoint) (b : fpoint) =
+    (quantise a.fx, quantise a.fy, quantise b.fx, quantise b.fy)
+  in
+  let polylines = ref [] in
+  List.iter
+    (fun (a0, b0) ->
+      if not (Hashtbl.mem used (key a0 b0)) then begin
+        Hashtbl.add used (key a0 b0) ();
+        let rec follow acc current =
+          let k = (quantise current.fx, quantise current.fy) in
+          let next =
+            List.find_opt
+              (fun (a, b) -> not (Hashtbl.mem used (key a b)))
+              (Hashtbl.find_all by_start k)
+          in
+          match next with
+          | Some (a, b) ->
+              Hashtbl.add used (key a b) ();
+              if quantise b.fx = quantise a0.fx && quantise b.fy = quantise a0.fy then
+                List.rev (b :: acc)
+              else follow (b :: acc) b
+          | None -> List.rev acc
+        in
+        let line = a0 :: follow [ b0 ] b0 in
+        if List.length line >= 3 then polylines := line :: !polylines
+      end)
+    !segments;
+  !polylines
+
+let printed_area raster ~threshold ~window =
+  let step = Raster.step raster in
+  let area = ref 0.0 in
+  let lx = float_of_int window.Geometry.Rect.lx and hx = float_of_int window.Geometry.Rect.hx in
+  let ly = float_of_int window.Geometry.Rect.ly and hy = float_of_int window.Geometry.Rect.hy in
+  for iy = 0 to Raster.ny raster - 1 do
+    for ix = 0 to Raster.nx raster - 1 do
+      let x = Raster.x_of_ix raster ix and y = Raster.y_of_iy raster iy in
+      if x >= lx && x <= hx && y >= ly && y <= hy then begin
+        let v = Raster.get raster ix iy in
+        (* Linear credit in a band around the threshold stands in for
+           sub-pixel boundary coverage. *)
+        let band = 0.15 in
+        let frac =
+          if v >= threshold +. band then 1.0
+          else if v <= threshold -. band then 0.0
+          else (v -. (threshold -. band)) /. (2.0 *. band)
+        in
+        area := !area +. (frac *. step *. step)
+      end
+    done
+  done;
+  !area
+
+let polyline_length line =
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+        go (acc +. sqrt (((b.fx -. a.fx) ** 2.0) +. ((b.fy -. a.fy) ** 2.0))) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0.0 line

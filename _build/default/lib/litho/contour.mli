@@ -1,0 +1,17 @@
+(** Printed-contour extraction (marching squares) and printed-area
+    accounting on intensity rasters. *)
+
+type fpoint = { fx : float; fy : float }
+
+(** [trace raster ~threshold] extracts iso-contours of the intensity at
+    [threshold] as closed polylines in layout coordinates (float nm).
+    Contours clipped by the raster border are closed along the border
+    implicitly (open polylines are returned as-is). *)
+val trace : Raster.t -> threshold:float -> fpoint list list
+
+(** Printed area inside [window], in nm^2, by per-pixel threshold
+    counting with linear sub-pixel credit at boundary pixels. *)
+val printed_area : Raster.t -> threshold:float -> window:Geometry.Rect.t -> float
+
+(** Length of a closed polyline. *)
+val polyline_length : fpoint list -> float

@@ -1,0 +1,53 @@
+(* Scan step: half a pixel keeps every crossing bracketed. *)
+let scan_step raster = Raster.step raster /. 2.0
+
+let edge_from raster ~threshold ~x ~y ~dx ~dy ~search =
+  let step = scan_step raster in
+  let value d = Raster.sample raster (x +. (d *. dx)) (y +. (d *. dy)) -. threshold in
+  let v0 = value 0.0 in
+  let rec walk d prev_d prev_v =
+    if d > search then None
+    else
+      let v = value d in
+      if (prev_v >= 0.0 && v < 0.0) || (prev_v < 0.0 && v >= 0.0) then
+        (* Linear interpolation between the bracketing samples. *)
+        let frac = prev_v /. (prev_v -. v) in
+        Some (prev_d +. (frac *. (d -. prev_d)))
+      else walk (d +. step) d v
+  in
+  walk step 0.0 v0
+
+let cd_horizontal raster ~threshold ~y ~x_center ~search =
+  if Raster.sample raster x_center y < threshold then None
+  else
+    match
+      ( edge_from raster ~threshold ~x:x_center ~y ~dx:(-1.0) ~dy:0.0 ~search,
+        edge_from raster ~threshold ~x:x_center ~y ~dx:1.0 ~dy:0.0 ~search )
+    with
+    | Some left, Some right -> Some (left +. right)
+    | None, _ | _, None -> None
+
+let cd_vertical raster ~threshold ~x ~y_center ~search =
+  if Raster.sample raster x y_center < threshold then None
+  else
+    match
+      ( edge_from raster ~threshold ~x ~y:y_center ~dx:0.0 ~dy:(-1.0) ~search,
+        edge_from raster ~threshold ~x ~y:y_center ~dx:0.0 ~dy:1.0 ~search )
+    with
+    | Some down, Some up -> Some (down +. up)
+    | None, _ | _, None -> None
+
+let epe raster ~threshold ~x ~y ~nx ~ny ~search =
+  (* The drawn edge point should sit exactly on the printed contour
+     when EPE = 0.  Sample inward and outward; the nearer crossing is
+     the printed edge.  Inside the feature I >= threshold, so if the
+     drawn point is inside, the printed edge lies outward (positive
+     EPE); otherwise it lies inward (negative). *)
+  let inside = Raster.sample raster x y >= threshold in
+  let outward = edge_from raster ~threshold ~x ~y ~dx:nx ~dy:ny ~search in
+  let inward = edge_from raster ~threshold ~x ~y ~dx:(-.nx) ~dy:(-.ny) ~search in
+  match (inside, outward, inward) with
+  | true, Some d, _ -> Some d
+  | true, None, _ -> None
+  | false, _, Some d -> Some (-.d)
+  | false, _, None -> None

@@ -1,0 +1,48 @@
+(** Virtual CD-SEM: sub-pixel measurements on simulated intensity.
+
+    Edge positions are found as threshold crossings of the bilinear
+    intensity field along a scan direction, refined by linear
+    interpolation between samples, giving sub-nanometre repeatability
+    on a 5 nm raster — the software analogue of design-based metrology
+    cutlines. *)
+
+(** [edge_from i ~threshold ~x ~y ~dx ~dy ~search] walks from (x, y) in
+    direction (dx, dy) (unit vector) for at most [search] nm and
+    returns the distance to the first threshold crossing, or [None] if
+    the intensity never crosses. *)
+val edge_from :
+  Raster.t ->
+  threshold:float ->
+  x:float ->
+  y:float ->
+  dx:float ->
+  dy:float ->
+  search:float ->
+  float option
+
+(** [cd_horizontal i ~threshold ~y ~x_center ~search] measures the
+    printed width of a vertical line feature through the point
+    [(x_center, y)]: the distance between the left and right threshold
+    crossings.  [None] when the feature does not print there
+    (pinching) — the centre intensity is below threshold. *)
+val cd_horizontal :
+  Raster.t -> threshold:float -> y:float -> x_center:float -> search:float -> float option
+
+(** Same along a vertical cutline, for line-end measurements. *)
+val cd_vertical :
+  Raster.t -> threshold:float -> x:float -> y_center:float -> search:float -> float option
+
+(** [epe i ~threshold ~x ~y ~nx ~ny ~search] is the signed edge
+    placement error at drawn-edge point (x, y) with outward normal
+    (nx, ny): positive when the printed edge lies outside the drawn
+    edge (over-print), negative when it pulls back.  [None] when no
+    printed edge is found within [search] nm either way. *)
+val epe :
+  Raster.t ->
+  threshold:float ->
+  x:float ->
+  y:float ->
+  nx:float ->
+  ny:float ->
+  search:float ->
+  float option

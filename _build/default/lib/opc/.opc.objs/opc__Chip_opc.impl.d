@@ -1,0 +1,1 @@
+lib/opc/chip_opc.ml: Array Geometry Int Layout List Litho Mask Model_opc Rule_opc

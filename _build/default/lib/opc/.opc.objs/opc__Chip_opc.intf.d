@@ -1,0 +1,1 @@
+lib/opc/chip_opc.mli: Layout Litho Mask Model_opc Rule_opc

@@ -1,0 +1,1 @@
+lib/opc/fragment.ml: Array Geometry List

@@ -1,0 +1,1 @@
+lib/opc/fragment.mli: Geometry

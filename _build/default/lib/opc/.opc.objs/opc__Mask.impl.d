@@ -1,0 +1,1 @@
+lib/opc/mask.ml: Geometry List

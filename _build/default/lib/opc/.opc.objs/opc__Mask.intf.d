@@ -1,0 +1,1 @@
+lib/opc/mask.mli: Geometry

@@ -1,0 +1,1 @@
+lib/opc/model_opc.ml: Float Format Fragment Geometry Layout List Litho Rule_opc

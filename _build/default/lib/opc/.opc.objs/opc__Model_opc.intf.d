@@ -1,0 +1,1 @@
+lib/opc/model_opc.mli: Format Geometry Layout Litho

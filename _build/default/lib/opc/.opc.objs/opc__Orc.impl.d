@@ -1,0 +1,1 @@
+lib/opc/orc.ml: Float Format Geometry Layout List Litho Mask

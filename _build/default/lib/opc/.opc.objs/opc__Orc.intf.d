@@ -1,0 +1,1 @@
+lib/opc/orc.mli: Format Geometry Layout Litho Mask

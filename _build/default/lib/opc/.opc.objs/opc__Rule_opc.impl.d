@@ -1,0 +1,1 @@
+lib/opc/rule_opc.ml: Fragment Geometry Layout List Mask

@@ -1,0 +1,1 @@
+lib/opc/rule_opc.mli: Fragment Geometry Layout Mask

@@ -1,0 +1,1 @@
+lib/opc/sraf.ml: Fragment Geometry Layout List Litho Rule_opc

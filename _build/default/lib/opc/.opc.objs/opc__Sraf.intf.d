@@ -1,0 +1,1 @@
+lib/opc/sraf.mli: Geometry Layout Litho

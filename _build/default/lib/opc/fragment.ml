@@ -1,0 +1,81 @@
+module G = Geometry
+
+type kind = Normal | Line_end
+
+type t = {
+  edge : G.Edge.t;
+  control : G.Point.t;
+  normal : G.Point.t;
+  kind : kind;
+  mutable displacement : int;
+}
+
+type fragmented = { drawn : G.Polygon.t; fragments : t list }
+
+let fragment_polygon p ~max_len ~line_end_max =
+  let fragments =
+    List.concat_map
+      (fun edge ->
+        let kind =
+          if G.Edge.length edge <= line_end_max then Line_end else Normal
+        in
+        List.map
+          (fun frag ->
+            {
+              edge = frag;
+              control = G.Edge.midpoint frag;
+              normal = G.Edge.outward_normal frag;
+              kind;
+              displacement = 0;
+            })
+          (G.Edge.split edge ~max_len))
+      (G.Polygon.edges p)
+  in
+  { drawn = p; fragments }
+
+(* The displaced boundary: each fragment becomes a segment of its edge
+   line shifted by [displacement] along the outward normal.  Walking
+   fragments in CCW order, consecutive perpendicular segments meet at
+   the intersection of their supporting lines; consecutive parallel
+   segments (fragments of the same drawn edge, or of collinear edges)
+   are joined by a jog at their shared tangential coordinate. *)
+let to_mask f =
+  let displaced =
+    List.map (fun frag -> (frag, G.Edge.shift frag.edge frag.displacement)) f.fragments
+  in
+  let n = List.length displaced in
+  if n < 4 then invalid_arg "Fragment.to_mask: degenerate fragmentation";
+  let arr = Array.of_list displaced in
+  let vertices = ref [] in
+  for i = 0 to n - 1 do
+    let _, cur = arr.(i) in
+    let _, next = arr.((i + 1) mod n) in
+    let ocur = G.Edge.orientation cur and onext = G.Edge.orientation next in
+    if ocur <> onext then begin
+      (* Corner: intersection of the horizontal and vertical lines. *)
+      let x = if ocur = G.Edge.Vertical then G.Edge.perp_coord cur else G.Edge.perp_coord next in
+      let y = if ocur = G.Edge.Horizontal then G.Edge.perp_coord cur else G.Edge.perp_coord next in
+      vertices := G.Point.make x y :: !vertices
+    end
+    else begin
+      (* Jog between parallel segments at the original shared joint. *)
+      let joint = (arr.(i) |> fst).edge.G.Edge.b in
+      match ocur with
+      | G.Edge.Horizontal ->
+          let t = joint.G.Point.x in
+          vertices := G.Point.make t (G.Edge.perp_coord next)
+                      :: G.Point.make t (G.Edge.perp_coord cur)
+                      :: !vertices
+      | G.Edge.Vertical ->
+          let t = joint.G.Point.y in
+          vertices := G.Point.make (G.Edge.perp_coord next) t
+                      :: G.Point.make (G.Edge.perp_coord cur) t
+                      :: !vertices
+    end
+  done;
+  G.Polygon.rebuild_ring (List.rev !vertices)
+
+let reset f = List.iter (fun frag -> frag.displacement <- 0) f.fragments
+
+let max_displacement f =
+  List.fold_left (fun acc frag -> max acc (abs frag.displacement)) 0 f.fragments

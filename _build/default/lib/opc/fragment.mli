@@ -1,0 +1,40 @@
+(** Edge fragmentation: the unit of OPC correction.
+
+    Every polygon edge is cut into fragments of bounded length; each
+    fragment carries an integer displacement along its outward normal.
+    [to_mask] rebuilds a rectilinear polygon from the displaced
+    fragments, inserting jogs between neighbouring fragments of the
+    same edge and re-intersecting at corners. *)
+
+type kind =
+  | Normal
+  | Line_end  (** short cap edge: gets the line-end treatment *)
+
+type t = {
+  edge : Geometry.Edge.t;  (** drawn fragment geometry *)
+  control : Geometry.Point.t;  (** EPE control site (midpoint) *)
+  normal : Geometry.Point.t;  (** unit outward normal *)
+  kind : kind;
+  mutable displacement : int;  (** nm along the outward normal *)
+}
+
+type fragmented = {
+  drawn : Geometry.Polygon.t;
+  fragments : t list;  (** counter-clockwise boundary order *)
+}
+
+(** [fragment_polygon p ~max_len ~line_end_max] cuts every edge into
+    fragments no longer than [max_len]; whole edges not longer than
+    [line_end_max] are classified [Line_end]. *)
+val fragment_polygon :
+  Geometry.Polygon.t -> max_len:int -> line_end_max:int -> fragmented
+
+(** Rebuild the mask polygon from current displacements.
+    @raise Invalid_argument when displacements collapse the polygon. *)
+val to_mask : fragmented -> Geometry.Polygon.t
+
+(** Zero all displacements. *)
+val reset : fragmented -> unit
+
+(** Largest |displacement| over the fragments, nm. *)
+val max_displacement : fragmented -> int

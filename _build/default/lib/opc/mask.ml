@@ -1,0 +1,16 @@
+module G = Geometry
+
+type t = { polygons : G.Polygon.t list; index : G.Polygon.t G.Spatial.t }
+
+let of_polygons polygons =
+  let index = G.Spatial.create ~bucket:4000 in
+  List.iter (fun p -> G.Spatial.insert index (G.Polygon.bbox p) p) polygons;
+  { polygons; index }
+
+let polygons t = t.polygons
+
+let size t = List.length t.polygons
+
+let in_window t window = List.map snd (G.Spatial.query t.index window)
+
+let source t window = in_window t window

@@ -1,0 +1,17 @@
+(** A corrected mask: polygons plus a spatial index so downstream
+    consumers (litho tiles, CD extraction) can fetch the shapes
+    relevant to any window. *)
+
+type t
+
+val of_polygons : Geometry.Polygon.t list -> t
+
+val polygons : t -> Geometry.Polygon.t list
+
+val size : t -> int
+
+(** Shapes whose bounding box touches the window. *)
+val in_window : t -> Geometry.Rect.t -> Geometry.Polygon.t list
+
+(** The window-to-shapes function expected by CD extraction. *)
+val source : t -> Geometry.Rect.t -> Geometry.Polygon.t list

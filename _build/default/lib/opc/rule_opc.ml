@@ -1,0 +1,97 @@
+module G = Geometry
+
+type bias_rule = { max_space : int; bias : int }
+
+type recipe = {
+  bias_table : bias_rule list;
+  iso_bias : int;
+  line_end_bias : int;
+  max_len : int;
+  line_end_max : int;
+  probe : int;
+}
+
+let default_recipe (tech : Layout.Tech.t) =
+  let p = tech.Layout.Tech.poly_pitch in
+  {
+    (* The calibrated process prints dense features on target, so the
+       table only compensates the iso-dense bias tail. *)
+    bias_table =
+      [ { max_space = (p * 3) / 5; bias = 0 };
+        { max_space = p; bias = 1 };
+        { max_space = p * 2; bias = 2 } ];
+    iso_bias = 2;
+    line_end_bias = 18;
+    max_len = 180;
+    line_end_max = tech.Layout.Tech.poly_min_width + 30;
+    probe = p * 3;
+  }
+
+(* Probe rectangle: the fragment's span extruded outward by [probe]. *)
+let probe_rect ~probe (frag : Fragment.t) =
+  let e = frag.Fragment.edge in
+  let n = frag.Fragment.normal in
+  let lo, hi = G.Edge.span e in
+  let c = G.Edge.perp_coord e in
+  match G.Edge.orientation e with
+  | G.Edge.Horizontal ->
+      if n.G.Point.y > 0 then G.Rect.make ~lx:lo ~ly:c ~hx:hi ~hy:(c + probe)
+      else G.Rect.make ~lx:lo ~ly:(c - probe) ~hx:hi ~hy:c
+  | G.Edge.Vertical ->
+      if n.G.Point.x > 0 then G.Rect.make ~lx:c ~ly:lo ~hx:(c + probe) ~hy:hi
+      else G.Rect.make ~lx:(c - probe) ~ly:lo ~hx:c ~hy:hi
+
+let space_to_neighbour ~probe ~neighbours (frag : Fragment.t) ~self =
+  let window = probe_rect ~probe frag in
+  let e = frag.Fragment.edge in
+  let c = G.Edge.perp_coord e in
+  let n = frag.Fragment.normal in
+  let candidates = neighbours window in
+  List.fold_left
+    (fun acc p ->
+      if G.Polygon.equal p self then acc
+      else
+        let bb = G.Polygon.bbox p in
+        (* Distance along the outward normal from the fragment line to
+           the near face of the neighbour's bbox. *)
+        let d =
+          match G.Edge.orientation e with
+          | G.Edge.Horizontal ->
+              if n.G.Point.y > 0 then bb.G.Rect.ly - c else c - bb.G.Rect.hy
+          | G.Edge.Vertical ->
+              if n.G.Point.x > 0 then bb.G.Rect.lx - c else c - bb.G.Rect.hx
+        in
+        if d >= 0 && d < acc then d else acc)
+    probe candidates
+
+let correct recipe ~neighbours polygons =
+  let corrected =
+    List.map
+      (fun p ->
+        let f =
+          Fragment.fragment_polygon p ~max_len:recipe.max_len
+            ~line_end_max:recipe.line_end_max
+        in
+        List.iter
+          (fun (frag : Fragment.t) ->
+            let space =
+              space_to_neighbour ~probe:recipe.probe ~neighbours frag ~self:p
+            in
+            let table_bias =
+              match
+                List.find_opt (fun r -> space <= r.max_space) recipe.bias_table
+              with
+              | Some r -> r.bias
+              | None -> recipe.iso_bias
+            in
+            let bias =
+              match frag.Fragment.kind with
+              | Fragment.Line_end -> table_bias + recipe.line_end_bias
+              | Fragment.Normal -> table_bias
+            in
+            frag.Fragment.displacement <- bias)
+          f.Fragment.fragments;
+        Fragment.to_mask f)
+      polygons
+  in
+  Mask.of_polygons corrected

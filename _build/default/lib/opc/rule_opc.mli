@@ -1,0 +1,44 @@
+(** Rule-based OPC: table-driven edge biasing.
+
+    Each fragment is biased by an amount selected from a
+    space-to-neighbour lookup table — the pre-model-based correction
+    style.  Fast and better than nothing, but blind to 2-D effects;
+    the T2 experiment quantifies the residual against model-based
+    correction. *)
+
+type bias_rule = {
+  max_space : int;  (** rule applies when neighbour space <= this, nm *)
+  bias : int;  (** outward bias, nm *)
+}
+
+type recipe = {
+  bias_table : bias_rule list;  (** ascending [max_space] order *)
+  iso_bias : int;  (** bias beyond the last table entry *)
+  line_end_bias : int;  (** extra outward bias on line-end caps *)
+  max_len : int;  (** fragmentation length *)
+  line_end_max : int;
+  probe : int;  (** neighbour search reach, nm *)
+}
+
+(** A recipe scaled to the technology's pitch. *)
+val default_recipe : Layout.Tech.t -> recipe
+
+(** [space_to_neighbour ~probe ~neighbours frag poly] is the free-space
+    distance from a fragment outward to the nearest other shape, or
+    [probe] when nothing is found within reach. *)
+val space_to_neighbour :
+  probe:int ->
+  neighbours:(Geometry.Rect.t -> Geometry.Polygon.t list) ->
+  Fragment.t ->
+  self:Geometry.Polygon.t ->
+  int
+
+(** [correct recipe ~neighbours polygons] biases every polygon.
+    [neighbours] must return all drawn shapes near a window (including
+    the polygons being corrected; self-shapes are excluded internally
+    by geometry). *)
+val correct :
+  recipe ->
+  neighbours:(Geometry.Rect.t -> Geometry.Polygon.t list) ->
+  Geometry.Polygon.t list ->
+  Mask.t

@@ -1,0 +1,38 @@
+(** Sub-resolution assist features (scattering bars).
+
+    Isolated edges print with less dose latitude and stronger defocus
+    sensitivity than dense ones.  Placing a narrow, non-printing bar
+    parallel to an isolated edge restores a dense-like optical
+    environment.  Rule-driven insertion, as deployed alongside OPC in
+    the era the paper describes. *)
+
+type config = {
+  bar_width : int;  (** nm; must stay below the printing threshold *)
+  offset : int;  (** edge-to-bar spacing, nm *)
+  min_space : int;  (** edge space above which a bar is inserted *)
+  min_length : int;  (** shortest edge that receives a bar *)
+  end_margin : int;  (** bar pullback from fragment ends *)
+}
+
+val default_config : Layout.Tech.t -> config
+
+(** [insert config ~neighbours polygons] returns the assist bars (not
+    including the input shapes) for every sufficiently isolated edge.
+    [neighbours] answers window queries over all drawn shapes; bars are
+    kept [min_space]-clear of other drawn geometry and deduplicated
+    against each other. *)
+val insert :
+  config ->
+  neighbours:(Geometry.Rect.t -> Geometry.Polygon.t list) ->
+  Geometry.Polygon.t list ->
+  Geometry.Polygon.t list
+
+(** [verify_not_printing model conditions ~bars ~mask] checks that no
+    bar reaches the printing threshold under any condition; returns the
+    offending bars.  [mask] must include the bars themselves. *)
+val verify_not_printing :
+  Litho.Model.t ->
+  Litho.Condition.t list ->
+  bars:Geometry.Polygon.t list ->
+  mask:Geometry.Polygon.t list ->
+  Geometry.Polygon.t list

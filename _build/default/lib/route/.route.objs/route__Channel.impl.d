@@ -1,0 +1,1 @@
+lib/route/channel.ml: Array Circuit Format Geometry Hashtbl Int Layout List Option String

@@ -1,0 +1,1 @@
+lib/route/channel.mli: Circuit Format Geometry Layout

@@ -1,0 +1,272 @@
+module G = Geometry
+module N = Circuit.Netlist
+
+type pin = { net : N.net; at : G.Point.t }
+
+type segment = { layer : Layout.Layer.t; rect : G.Rect.t; seg_net : N.net }
+
+type result = {
+  segments : segment list;
+  wirelength : (N.net * int) list;
+  tracks_used : int;
+  channels : int;
+}
+
+let pins_of_chip chip (netlist : N.t) =
+  let gate_pins =
+    Array.to_list netlist.N.gates
+    |> List.concat_map (fun (g : N.gate) ->
+           match Layout.Chip.find_instance chip g.N.gname with
+           | None -> []
+           | Some inst ->
+               let cell = inst.Layout.Chip.cell in
+               let placed rect =
+                 G.Rect.center (G.Transform.apply_rect inst.Layout.Chip.placement rect)
+               in
+               let info = Circuit.Cell_lib.find g.N.cell in
+               let inputs =
+                 List.map2
+                   (fun pname net -> (pname, net))
+                   info.Circuit.Cell_lib.inputs g.N.inputs
+               in
+               List.filter_map
+                 (fun (pname, layer, rect) ->
+                   ignore layer;
+                   if String.equal pname "Y" then
+                     Some { net = g.N.output; at = placed rect }
+                   else
+                     Option.map
+                       (fun net -> { net; at = placed rect })
+                       (List.assoc_opt pname inputs))
+                 cell.Layout.Cell.pins)
+  in
+  (* Primary IO pins on the die boundary, staggered to avoid stacking. *)
+  let die =
+    match Layout.Chip.die chip with
+    | Some d -> d
+    | None -> invalid_arg "Channel.pins_of_chip: empty chip"
+  in
+  let stagger i = die.G.Rect.ly + 400 + (i * 700 mod max 1 (G.Rect.height die - 800)) in
+  let pi_pins =
+    List.mapi
+      (fun i net -> { net; at = G.Point.make die.G.Rect.lx (stagger i) })
+      netlist.N.primary_inputs
+  in
+  let po_pins =
+    List.mapi
+      (fun i net -> { net; at = G.Point.make die.G.Rect.hx (stagger i) })
+      netlist.N.primary_outputs
+  in
+  gate_pins @ pi_pins @ po_pins
+
+(* Left-edge track assignment: intervals sorted by left coordinate go
+   to the first track whose last interval ends [gap] before them. *)
+let assign_tracks ~gap intervals =
+  let sorted = List.sort (fun (l1, _, _) (l2, _, _) -> Int.compare l1 l2) intervals in
+  let tracks = ref [] in
+  (* each track: (mutable right end, index) *)
+  let placed = ref [] in
+  List.iter
+    (fun (lx, hx, net) ->
+      let rec fit = function
+        | [] ->
+            let idx = List.length !tracks in
+            tracks := !tracks @ [ ref hx ];
+            placed := (net, lx, hx, idx) :: !placed
+        | last :: rest ->
+            if lx > !last + gap then begin
+              let idx = List.length !tracks - List.length (last :: rest) in
+              last := hx;
+              placed := (net, lx, hx, idx) :: !placed
+            end
+            else fit rest
+      in
+      fit !tracks)
+    sorted;
+  (!placed, List.length !tracks)
+
+let route (tech : Layout.Tech.t) ~die pins =
+  let cell_h = tech.Layout.Tech.cell_height in
+  let row_sp = tech.Layout.Tech.row_spacing in
+  let row_pitch = cell_h + row_sp in
+  let wire_w = tech.Layout.Tech.metal1_min_width in
+  let track_pitch = wire_w + tech.Layout.Tech.metal1_min_space in
+  let row_of (p : G.Point.t) =
+    max 0 ((p.G.Point.y - die.G.Rect.ly) / row_pitch)
+  in
+  let channel_base c =
+    die.G.Rect.ly + ((c + 1) * cell_h) + (c * row_pitch - c * cell_h) + (row_sp / 2)
+  in
+  (* Group pins by net; only multi-pin nets are routed. *)
+  let by_net = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_net p.net) in
+      Hashtbl.replace by_net p.net (p :: cur))
+    pins;
+  let nets =
+    Hashtbl.fold (fun net ps acc -> if List.length ps >= 2 then (net, ps) :: acc else acc)
+      by_net []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  (* Plan: per net, pins are assigned to their own row's channel (the
+     gap above the row; the top row of a multi-row net folds into the
+     channel below it).  A trunk spans only its assigned pins plus the
+     bridge points where vertical feeds chain it to the neighbouring
+     trunks — much shorter intervals than a full-net hull, hence far
+     lower channel congestion. *)
+  let channel_intervals = Hashtbl.create 16 in
+  let plans =
+    List.map
+      (fun (net, ps) ->
+        let rows = List.sort_uniq Int.compare (List.map (fun p -> row_of p.at) ps) in
+        let lo_row = List.hd rows and hi_row = List.nth rows (List.length rows - 1) in
+        let channels =
+          if lo_row = hi_row then [ lo_row ]
+          else List.init (hi_row - lo_row) (fun i -> lo_row + i)
+        in
+        let channel_of_pin p =
+          let r = row_of p.at in
+          if List.mem r channels then r else r - 1
+        in
+        let assigned c = List.filter (fun p -> channel_of_pin p = c) ps in
+        (* Bridge between consecutive trunks: the x of the first pin of
+           the upper channel (any shared x works; this one is short). *)
+        let bridge_x c =
+          match assigned c with
+          | p :: _ -> p.at.G.Point.x
+          | [] -> (List.hd ps).at.G.Point.x
+        in
+        let spans =
+          List.mapi
+            (fun i c ->
+              let xs = List.map (fun p -> p.at.G.Point.x) (assigned c) in
+              let xs = if i > 0 then bridge_x c :: xs else xs in
+              let xs =
+                match List.nth_opt channels (i + 1) with
+                | Some c' -> bridge_x c' :: xs
+                | None -> xs
+              in
+              let xs = match xs with [] -> [ bridge_x c ] | _ -> xs in
+              let x_lo = List.fold_left min max_int xs in
+              let x_hi = max (List.fold_left max min_int xs) (x_lo + wire_w) in
+              (c, x_lo, x_hi))
+            channels
+        in
+        List.iter
+          (fun (c, x_lo, x_hi) ->
+            let cur = Option.value ~default:[] (Hashtbl.find_opt channel_intervals c) in
+            Hashtbl.replace channel_intervals c ((x_lo, x_hi, net) :: cur))
+          spans;
+        (net, ps, channels, channel_of_pin, spans, bridge_x))
+      nets
+  in
+  (* Track assignment per channel. *)
+  let track_of = Hashtbl.create 64 in
+  let tracks_in = Hashtbl.create 8 in
+  let max_tracks = ref 0 in
+  Hashtbl.iter
+    (fun c intervals ->
+      let placed, ntracks = assign_tracks ~gap:tech.Layout.Tech.metal1_min_space intervals in
+      (* M2 trunks may run over the adjacent cell rows (different
+         layer), so capacity is several row pitches, not just the gap. *)
+      if ntracks * track_pitch > 6 * row_pitch then
+        invalid_arg "Channel.route: channel congestion exceeds row capacity";
+      max_tracks := max !max_tracks ntracks;
+      Hashtbl.replace tracks_in c ntracks;
+      List.iter (fun (net, _, _, idx) -> Hashtbl.replace track_of (c, net) idx) placed)
+    channel_intervals;
+  (* A congested channel's band may spill over the row above it (M2
+     runs over cells); push later channels' bases down past any spill
+     so bands never interleave. *)
+  let bases = Hashtbl.create 8 in
+  let sorted_channels =
+    Hashtbl.fold (fun c _ acc -> c :: acc) channel_intervals [] |> List.sort Int.compare
+  in
+  let _ =
+    List.fold_left
+      (fun floor c ->
+        let base = max (channel_base c) floor in
+        Hashtbl.replace bases c base;
+        let ntracks = Option.value ~default:1 (Hashtbl.find_opt tracks_in c) in
+        base + (ntracks * track_pitch) + tech.Layout.Tech.metal1_min_space)
+      min_int sorted_channels
+  in
+  let trunk_y c net =
+    let idx = try Hashtbl.find track_of (c, net) with Not_found -> 0 in
+    let base = Option.value ~default:(channel_base c) (Hashtbl.find_opt bases c) in
+    base + (idx * track_pitch)
+  in
+  (* Emit geometry and wirelength. *)
+  let segments = ref [] in
+  let wirelength = ref [] in
+  List.iter
+    (fun (net, ps, channels, channel_of_pin, spans, bridge_x) ->
+      let len = ref 0 in
+      let add layer rect =
+        segments := { layer; rect; seg_net = net } :: !segments;
+        len := !len + max (G.Rect.width rect) (G.Rect.height rect)
+      in
+      (* Trunks. *)
+      List.iter
+        (fun (c, x_lo, x_hi) ->
+          let y = trunk_y c net in
+          add Layout.Layer.Metal2
+            (G.Rect.make ~lx:x_lo ~ly:y ~hx:x_hi ~hy:(y + wire_w)))
+        spans;
+      (* Vertical feeds chaining consecutive trunks at the bridge x. *)
+      let rec feeds = function
+        | c1 :: (c2 :: _ as rest) ->
+            let y1 = trunk_y c1 net and y2 = trunk_y c2 net in
+            let xb = bridge_x c2 in
+            add Layout.Layer.Metal1
+              (G.Rect.make ~lx:xb ~ly:(min y1 y2) ~hx:(xb + wire_w)
+                 ~hy:(max y1 y2 + wire_w));
+            feeds rest
+        | [ _ ] | [] -> ()
+      in
+      feeds channels;
+      (* Pin drops to the pin's assigned trunk. *)
+      List.iter
+        (fun p ->
+          let x = p.at.G.Point.x and y = p.at.G.Point.y in
+          let ty = trunk_y (channel_of_pin p) net in
+          add Layout.Layer.Metal1
+            (G.Rect.make ~lx:x ~ly:(min y ty) ~hx:(x + wire_w) ~hy:(max y ty + wire_w)))
+        ps;
+      wirelength := (net, !len) :: !wirelength)
+    plans;
+  {
+    segments = !segments;
+    wirelength = !wirelength;
+    tracks_used = !max_tracks;
+    channels = Hashtbl.length channel_intervals;
+  }
+
+let length_of result net =
+  Option.value ~default:0 (List.assoc_opt net result.wirelength)
+
+let loads env (netlist : N.t) result ~cap_per_um =
+  let base = Hashtbl.create netlist.N.num_nets in
+  Array.iter
+    (fun (g : N.gate) ->
+      let cell = Circuit.Cell_lib.find g.N.cell in
+      let cin = Circuit.Delay_model.input_cap env cell in
+      List.iter
+        (fun i ->
+          let cur = Option.value ~default:0.0 (Hashtbl.find_opt base i) in
+          Hashtbl.replace base i (cur +. cin))
+        g.N.inputs)
+    netlist.N.gates;
+  List.iter
+    (fun po ->
+      let cur = Option.value ~default:0.0 (Hashtbl.find_opt base po) in
+      Hashtbl.replace base po (cur +. Circuit.Loads.output_load))
+    netlist.N.primary_outputs;
+  fun net ->
+    let pin_cap = Option.value ~default:0.0 (Hashtbl.find_opt base net) in
+    pin_cap +. (cap_per_um *. float_of_int (length_of result net) /. 1000.0)
+
+let pp_result ppf r =
+  Format.fprintf ppf "route: %d segments over %d channels, max %d tracks"
+    (List.length r.segments) r.channels r.tracks_used

@@ -1,0 +1,57 @@
+(** Two-layer channel routing over a row-placed chip.
+
+    The classic HV scheme: every net is decomposed into one horizontal
+    metal-2 trunk per routing channel it crosses plus vertical metal-1
+    drops from each pin to its trunk.  Trunks within a channel are
+    assigned to tracks by the left-edge algorithm, so trunks never
+    overlap and the result is DRC-clean by construction.  Multi-row
+    nets chain through successive channels with a vertical feed at the
+    trunk end.
+
+    The router exists for two reasons: the paper's flow runs on
+    placed-and-routed layouts, and routed wire lengths give physical
+    net loads instead of a constant per-fanout estimate. *)
+
+type pin = {
+  net : Circuit.Netlist.net;
+  at : Geometry.Point.t;  (** pin connection point, chip coords *)
+}
+
+type segment = {
+  layer : Layout.Layer.t;
+  rect : Geometry.Rect.t;
+  seg_net : Circuit.Netlist.net;
+}
+
+type result = {
+  segments : segment list;
+  wirelength : (Circuit.Netlist.net * int) list;  (** routed length, nm *)
+  tracks_used : int;  (** max tracks over all channels *)
+  channels : int;
+}
+
+(** [pins_of_chip chip netlist] derives the pin list: for every netlist
+    gate, its layout instance's input pins (A/B/C...) and output pin Y
+    connect the corresponding nets; primary IO gets a pin at the die
+    edge. *)
+val pins_of_chip : Layout.Chip.t -> Circuit.Netlist.t -> pin list
+
+(** [route tech ~die pins] routes every multi-pin net.
+    @raise Invalid_argument when a channel needs more tracks than fit
+    in the row spacing times [max_track_overflow]. *)
+val route : Layout.Tech.t -> die:Geometry.Rect.t -> pin list -> result
+
+(** Routed length of a net, 0 when absent (single-pin nets). *)
+val length_of : result -> Circuit.Netlist.net -> int
+
+(** Net loads from routed wirelength: pin caps plus capacitance per nm
+    of wire — a drop-in replacement for {!Circuit.Loads.of_netlist}. *)
+val loads :
+  Circuit.Delay_model.env ->
+  Circuit.Netlist.t ->
+  result ->
+  cap_per_um:float ->
+  Circuit.Netlist.net ->
+  float
+
+val pp_result : Format.formatter -> result -> unit

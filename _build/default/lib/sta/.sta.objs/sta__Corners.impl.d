@@ -1,0 +1,1 @@
+lib/sta/corners.ml: Circuit Format Timing

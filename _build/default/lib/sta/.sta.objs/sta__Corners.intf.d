@@ -1,0 +1,1 @@
+lib/sta/corners.mli: Circuit Format Timing

@@ -1,0 +1,1 @@
+lib/sta/incremental.ml: Array Circuit Float Hashtbl List Timing

@@ -1,0 +1,1 @@
+lib/sta/incremental.mli: Circuit Timing

@@ -1,0 +1,1 @@
+lib/sta/montecarlo.ml: Array Circuit Float Hashtbl Stats Timing

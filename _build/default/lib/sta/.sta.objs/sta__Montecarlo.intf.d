@@ -1,0 +1,1 @@
+lib/sta/montecarlo.mli: Circuit Stats

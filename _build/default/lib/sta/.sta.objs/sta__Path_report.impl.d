@@ -1,0 +1,1 @@
+lib/sta/path_report.ml: Array Circuit Format List String Timing

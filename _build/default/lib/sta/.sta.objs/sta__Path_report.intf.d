@@ -1,0 +1,1 @@
+lib/sta/path_report.mli: Circuit Format Timing

@@ -1,0 +1,1 @@
+lib/sta/sequential.ml: Array Circuit Float Format Hashtbl List Printf Stats Timing

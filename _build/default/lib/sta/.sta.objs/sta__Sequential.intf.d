@@ -1,0 +1,1 @@
+lib/sta/sequential.mli: Circuit Format Stats Timing

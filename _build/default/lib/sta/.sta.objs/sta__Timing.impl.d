@@ -1,0 +1,1 @@
+lib/sta/timing.ml: Array Circuit Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/sta/timing.mli: Circuit Format

@@ -1,0 +1,21 @@
+type corner = { name : string; delta_l : float }
+
+let classic ~spread =
+  [
+    { name = "fast"; delta_l = -.spread };
+    { name = "nominal"; delta_l = 0.0 };
+    { name = "slow"; delta_l = spread };
+  ]
+
+let analyze env netlist ~loads corner ~clock_period =
+  let drawn = Circuit.Delay_model.drawn_lengths env.Circuit.Delay_model.tech in
+  let shifted =
+    {
+      Circuit.Delay_model.l_n = drawn.Circuit.Delay_model.l_n +. corner.delta_l;
+      l_p = drawn.Circuit.Delay_model.l_p +. corner.delta_l;
+    }
+  in
+  let delay = Timing.model_delay env ~lengths_of:(fun _ -> Some shifted) in
+  Timing.analyze netlist ~loads ~delay ~clock_period ()
+
+let pp ppf c = Format.fprintf ppf "%s(dL=%+.1fnm)" c.name c.delta_l

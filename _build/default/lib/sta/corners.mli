@@ -1,0 +1,23 @@
+(** Corner-based timing: the sign-off practice the paper argues is
+    simultaneously pessimistic and optimistic.  A corner applies one
+    global channel-length shift to every device. *)
+
+type corner = {
+  name : string;
+  delta_l : float;  (** applied to every gate's drawn L, nm *)
+}
+
+(** The classic slow/nominal/fast set for a +-[spread] nm CD corner. *)
+val classic : spread:float -> corner list
+
+(** [analyze env netlist ~loads corner ~clock_period] runs STA with the
+    corner's global shift. *)
+val analyze :
+  Circuit.Delay_model.env ->
+  Circuit.Netlist.t ->
+  loads:(Circuit.Netlist.net -> float) ->
+  corner ->
+  clock_period:float ->
+  Timing.t
+
+val pp : Format.formatter -> corner -> unit

@@ -1,0 +1,73 @@
+module N = Circuit.Netlist
+
+let update (netlist : N.t) ~previous ~changed ~loads ~delay ?(epsilon = 1e-9) () =
+  let n = netlist.N.num_nets in
+  let arrival = Array.copy previous.Timing.arrival in
+  let slew = Array.copy previous.Timing.slew in
+  let driver = Array.copy previous.Timing.driver in
+  let pred = Array.copy previous.Timing.pred in
+  let changed_set = Hashtbl.create (List.length changed) in
+  List.iter (fun name -> Hashtbl.replace changed_set name ()) changed;
+  let dirty = Array.make n false in
+  let reevaluated = ref 0 in
+  Array.iteri
+    (fun gi (g : N.gate) ->
+      let must =
+        Hashtbl.mem changed_set g.N.gname
+        || List.exists (fun i -> dirty.(i)) g.N.inputs
+      in
+      if must then begin
+        incr reevaluated;
+        let c_load = loads g.N.output in
+        let best = ref neg_infinity and best_pred = ref (-1) and best_slew = ref 0.0 in
+        List.iteri
+          (fun pin input ->
+            if arrival.(input) > neg_infinity then begin
+              let r = delay ~gate:g ~pin ~slew_in:slew.(input) ~c_load in
+              let a = arrival.(input) +. r.Circuit.Delay_model.delay in
+              if a > !best then begin
+                best := a;
+                best_pred := input;
+                best_slew := r.Circuit.Delay_model.slew_out
+              end
+            end)
+          g.N.inputs;
+        let out = g.N.output in
+        if
+          Float.abs (!best -. arrival.(out)) > epsilon
+          || Float.abs (!best_slew -. slew.(out)) > epsilon
+        then dirty.(out) <- true;
+        arrival.(out) <- !best;
+        slew.(out) <- !best_slew;
+        driver.(out) <- gi;
+        pred.(out) <- !best_pred
+      end)
+    netlist.N.gates;
+  (* Paths rebuild from the (cheap) stored worst-arc chains. *)
+  let backtrack endpoint =
+    let rec go net acc =
+      if driver.(net) < 0 then acc
+      else
+        let g = netlist.N.gates.(driver.(net)) in
+        go pred.(net) (g.N.gname :: acc)
+    in
+    go endpoint []
+  in
+  let clock_period = previous.Timing.clock_period in
+  let paths =
+    List.map
+      (fun po ->
+        let a = arrival.(po) in
+        { Timing.endpoint = po; arrival = a; slack = clock_period -. a;
+          gates = backtrack po })
+      netlist.N.primary_outputs
+    |> List.sort (fun (p1 : Timing.path) p2 -> Float.compare p1.Timing.slack p2.Timing.slack)
+  in
+  let wns = match paths with [] -> 0.0 | p :: _ -> p.Timing.slack in
+  let tns =
+    List.fold_left
+      (fun acc (p : Timing.path) -> if p.Timing.slack < 0.0 then acc +. p.Timing.slack else acc)
+      0.0 paths
+  in
+  ( { Timing.arrival; slew; paths; wns; tns; clock_period; driver; pred },
+    !reevaluated )

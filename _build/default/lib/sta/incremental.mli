@@ -1,0 +1,23 @@
+(** Incremental re-timing.
+
+    The selective-OPC loop re-annotates a handful of instances and asks
+    for timing again; recomputing only the fan-out cone of the changed
+    gates makes the loop cheap on large designs.  Unchanged gates reuse
+    the previous analysis' arrival/slew/worst-arc state; a gate is
+    re-evaluated when it was changed explicitly or any of its input
+    arrivals/slews moved by more than [epsilon]. *)
+
+(** [update netlist ~previous ~changed ~loads ~delay] returns a full
+    {!Timing.t} equal (within [epsilon], default 1e-9 ps) to a fresh
+    [Timing.analyze] under the new [delay] function, plus the number of
+    gates actually re-evaluated.  [changed] lists instance names whose
+    delays may differ from the run that produced [previous]. *)
+val update :
+  Circuit.Netlist.t ->
+  previous:Timing.t ->
+  changed:string list ->
+  loads:(Circuit.Netlist.net -> float) ->
+  delay:Timing.delay_fn ->
+  ?epsilon:float ->
+  unit ->
+  Timing.t * int

@@ -1,0 +1,40 @@
+type config = {
+  trials : int;
+  sigma_global : float;
+  sigma_local : float;
+  mean_shift : float;
+  clock_period : float;
+}
+
+type summary = { wns : float array; critical_delay : float array }
+
+let run env (netlist : Circuit.Netlist.t) ~loads config rng =
+  if config.trials <= 0 then invalid_arg "Montecarlo.run: trials must be positive";
+  let drawn = Circuit.Delay_model.drawn_lengths env.Circuit.Delay_model.tech in
+  let wns = Array.make config.trials 0.0 in
+  let critical = Array.make config.trials 0.0 in
+  for trial = 0 to config.trials - 1 do
+    let global = Stats.Rng.normal rng ~mean:config.mean_shift ~std:config.sigma_global in
+    let per_gate = Hashtbl.create (Circuit.Netlist.num_gates netlist) in
+    Array.iter
+      (fun (g : Circuit.Netlist.gate) ->
+        let local = Stats.Rng.normal rng ~mean:0.0 ~std:config.sigma_local in
+        let dl = global +. local in
+        Hashtbl.replace per_gate g.Circuit.Netlist.gname
+          {
+            Circuit.Delay_model.l_n = Float.max 20.0 (drawn.Circuit.Delay_model.l_n +. dl);
+            l_p = Float.max 20.0 (drawn.Circuit.Delay_model.l_p +. dl);
+          })
+      netlist.Circuit.Netlist.gates;
+    let delay =
+      Timing.model_delay env ~lengths_of:(fun name -> Hashtbl.find_opt per_gate name)
+    in
+    let t = Timing.analyze netlist ~loads ~delay ~clock_period:config.clock_period () in
+    wns.(trial) <- t.Timing.wns;
+    critical.(trial) <- Timing.critical_delay t
+  done;
+  { wns; critical_delay = critical }
+
+let fail_probability s =
+  let fails = Array.fold_left (fun acc w -> if w < 0.0 then acc + 1 else acc) 0 s.wns in
+  float_of_int fails /. float_of_int (Array.length s.wns)

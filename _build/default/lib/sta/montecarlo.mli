@@ -1,0 +1,27 @@
+(** Monte-Carlo statistical timing over channel-length variation:
+    a global (die-to-die) component plus an independent local
+    (within-die) component per gate instance. *)
+
+type config = {
+  trials : int;
+  sigma_global : float;  (** nm, one draw per trial *)
+  sigma_local : float;  (** nm, one draw per gate per trial *)
+  mean_shift : float;  (** systematic CD offset, nm (e.g. from extraction) *)
+  clock_period : float;  (** ps *)
+}
+
+type summary = {
+  wns : float array;  (** per-trial worst slack, ps *)
+  critical_delay : float array;  (** per-trial critical arrival, ps *)
+}
+
+val run :
+  Circuit.Delay_model.env ->
+  Circuit.Netlist.t ->
+  loads:(Circuit.Netlist.net -> float) ->
+  config ->
+  Stats.Rng.t ->
+  summary
+
+(** Fraction of trials with negative worst slack. *)
+val fail_probability : summary -> float

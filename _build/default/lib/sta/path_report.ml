@@ -1,0 +1,32 @@
+module N = Circuit.Netlist
+
+let stages (netlist : N.t) (t : Timing.t) (path : Timing.path) =
+  let rec go prev_arrival acc = function
+    | [] -> List.rev acc
+    | gname :: rest -> (
+        match N.find_gate netlist gname with
+        | None -> List.rev acc
+        | Some g ->
+            let arrival = t.Timing.arrival.(g.N.output) in
+            go arrival ((g.N.cell, gname, arrival -. prev_arrival, arrival) :: acc) rest)
+  in
+  go 0.0 [] path.Timing.gates
+
+let write ppf netlist t ~top =
+  Format.fprintf ppf "Timing report: clock %.1fps, WNS %.2fps, TNS %.2fps@."
+    t.Timing.clock_period t.Timing.wns t.Timing.tns;
+  List.iteri
+    (fun i (path : Timing.path) ->
+      if i < top then begin
+        Format.fprintf ppf "@.Path #%d: endpoint net%d  arrival %.2fps  slack %.2fps@."
+          (i + 1) path.Timing.endpoint path.Timing.arrival path.Timing.slack;
+        Format.fprintf ppf "  %-12s %-16s %10s %10s@." "cell" "instance" "incr" "arrival";
+        Format.fprintf ppf "  %s@." (String.make 52 '-');
+        List.iter
+          (fun (cell, gname, incr, arrival) ->
+            Format.fprintf ppf "  %-12s %-16s %9.2fp %9.2fp@." cell gname incr arrival)
+          (stages netlist t path);
+        Format.fprintf ppf "  %-12s %-16s %10s %9.2fp  (slack %+.2f)@." "(endpoint)" ""
+          "" path.Timing.arrival path.Timing.slack
+      end)
+    t.Timing.paths

@@ -1,0 +1,15 @@
+(** Human-readable timing path reports (the sign-off report file).
+
+    Prints the top-N critical paths with a per-stage breakdown: each
+    gate on the path with its cell, the arrival at its output, and the
+    stage's incremental delay — the format timing engineers diff
+    between runs. *)
+
+(** [write ppf netlist t ~top] reports the [top] most critical
+    endpoints of analysis [t]. *)
+val write : Format.formatter -> Circuit.Netlist.t -> Timing.t -> top:int -> unit
+
+(** One path's stage table as strings (cell, instance, incr, arrival) —
+    exposed for tests and custom rendering. *)
+val stages :
+  Circuit.Netlist.t -> Timing.t -> Timing.path -> (string * string * float * float) list

@@ -1,0 +1,69 @@
+(** Static timing analysis.
+
+    Arrival times and slews propagate forward through the (already
+    topologically ordered) netlist; each net remembers its worst
+    (latest) arriving input arc so critical paths can be recovered by
+    backtracking.  Slack is measured against an ideal clock at the
+    primary outputs, launch at time 0 from the primary inputs. *)
+
+(** Delay of one timing arc: the gate's [pin]-th input switching,
+    driving [c_load], given the input transition time. *)
+type delay_fn =
+  gate:Circuit.Netlist.gate ->
+  pin:int ->
+  slew_in:float ->
+  c_load:float ->
+  Circuit.Delay_model.result
+
+(** A delay function evaluating the NLDM library (drawn, sign-off view). *)
+val nldm_delay : Circuit.Nldm.library -> delay_fn
+
+(** A delay function evaluating the parameterised model with
+    per-instance channel lengths.  [lengths_of] maps a gate instance
+    name to its effective (pull-down, pull-up) lengths; [None] means
+    drawn. *)
+val model_delay :
+  Circuit.Delay_model.env ->
+  lengths_of:(string -> Circuit.Delay_model.lengths option) ->
+  delay_fn
+
+type path = {
+  endpoint : Circuit.Netlist.net;
+  arrival : float;  (** ps *)
+  slack : float;  (** ps *)
+  gates : string list;  (** instance names, launch to capture order *)
+}
+
+type t = {
+  arrival : float array;  (** per net, ps *)
+  slew : float array;
+  paths : path list;  (** worst path per endpoint, most critical first *)
+  wns : float;  (** worst slack over endpoints, ps *)
+  tns : float;  (** total negative slack, ps *)
+  clock_period : float;
+  driver : int array;  (** gate index driving each net, -1 for PIs —
+                           retained so {!Incremental} can reuse state *)
+  pred : int array;  (** worst-arrival input net of each driven net *)
+}
+
+(** [analyze netlist ~loads ~delay ~clock_period] runs full STA.
+    [input_slew] is the transition at primary inputs (default 20 ps). *)
+val analyze :
+  Circuit.Netlist.t ->
+  loads:(Circuit.Netlist.net -> float) ->
+  delay:delay_fn ->
+  ?input_slew:float ->
+  clock_period:float ->
+  unit ->
+  t
+
+(** Arrival time of the single worst endpoint. *)
+val critical_delay : t -> float
+
+(** [path_delay_by_endpoint t] maps endpoint net -> arrival, for rank
+    comparisons between analyses of the same netlist. *)
+val path_delay_by_endpoint : t -> (Circuit.Netlist.net * float) list
+
+val pp_path : Format.formatter -> path -> unit
+
+val pp_summary : Format.formatter -> t -> unit

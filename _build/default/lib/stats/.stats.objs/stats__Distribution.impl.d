@@ -1,0 +1,1 @@
+lib/stats/distribution.ml: Array Format Rng

@@ -1,0 +1,1 @@
+lib/stats/distribution.mli: Format Rng

@@ -1,0 +1,1 @@
+lib/stats/rng.ml: Array Int64

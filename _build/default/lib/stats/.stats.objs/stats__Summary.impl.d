@@ -1,0 +1,1 @@
+lib/stats/summary.ml: Array Float Format

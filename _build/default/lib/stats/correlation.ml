@@ -1,0 +1,71 @@
+let check a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Correlation: length mismatch";
+  if Array.length a < 2 then invalid_arg "Correlation: need at least 2 samples"
+
+let pearson a b =
+  check a b;
+  let n = float_of_int (Array.length a) in
+  let ma = Array.fold_left ( +. ) 0.0 a /. n in
+  let mb = Array.fold_left ( +. ) 0.0 b /. n in
+  let num = ref 0.0 and da = ref 0.0 and db = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let u = x -. ma and v = b.(i) -. mb in
+      num := !num +. (u *. v);
+      da := !da +. (u *. u);
+      db := !db +. (v *. v))
+    a;
+  if !da = 0.0 || !db = 0.0 then 0.0 else !num /. sqrt (!da *. !db)
+
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare xs.(i) xs.(j)) idx;
+  let out = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    (* Find the run of ties starting at !i and give each its average rank. *)
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      out.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  out
+
+let spearman a b =
+  check a b;
+  pearson (ranks a) (ranks b)
+
+let kendall a b =
+  check a b;
+  let n = Array.length a in
+  let concordant = ref 0 and discordant = ref 0 in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      let s = Float.compare a.(i) a.(j) * Float.compare b.(i) b.(j) in
+      if s > 0 then incr concordant else if s < 0 then incr discordant
+    done
+  done;
+  let pairs = float_of_int (n * (n - 1) / 2) in
+  float_of_int (!concordant - !discordant) /. pairs
+
+let top_k_overlap a b k =
+  check a b;
+  let n = Array.length a in
+  if k <= 0 || k > n then invalid_arg "Correlation.top_k_overlap: bad k";
+  let top xs =
+    let idx = Array.init n (fun i -> i) in
+    Array.sort (fun i j -> Float.compare xs.(j) xs.(i)) idx;
+    Array.sub idx 0 k
+  in
+  let ta = top a and tb = top b in
+  let set = Hashtbl.create k in
+  Array.iter (fun i -> Hashtbl.replace set i ()) ta;
+  let hits = Array.fold_left (fun acc i -> if Hashtbl.mem set i then acc + 1 else acc) 0 tb in
+  float_of_int hits /. float_of_int k

@@ -1,0 +1,24 @@
+(** Correlation and rank-agreement measures.
+
+    The paper's central qualitative claim is that speed-path ranking
+    under drawn CDs disagrees with ranking under post-OPC CDs; Spearman
+    and Kendall coefficients quantify that reordering. *)
+
+(** Pearson linear correlation.
+    @raise Invalid_argument on mismatched or < 2 element inputs. *)
+val pearson : float array -> float array -> float
+
+(** Spearman rank correlation (Pearson on average ranks, so ties are
+    handled). *)
+val spearman : float array -> float array -> float
+
+(** Kendall tau-a rank correlation. *)
+val kendall : float array -> float array -> float
+
+(** [ranks xs] assigns average ranks (1-based) with tie averaging. *)
+val ranks : float array -> float array
+
+(** [top_k_overlap a b k] is |top-k(a) ∩ top-k(b)| / k where top-k
+    selects the indices of the [k] largest values — how many of the
+    paths critical in one view remain critical in the other. *)
+val top_k_overlap : float array -> float array -> int -> float

@@ -1,0 +1,36 @@
+type t =
+  | Normal of { mean : float; std : float }
+  | Uniform of { lo : float; hi : float }
+  | Truncated_normal of { mean : float; std : float; lo : float; hi : float }
+  | Constant of float
+
+let rec sample t rng =
+  match t with
+  | Constant v -> v
+  | Normal { mean; std } -> Rng.normal rng ~mean ~std
+  | Uniform { lo; hi } -> Rng.uniform rng ~lo ~hi
+  | Truncated_normal { mean; std; lo; hi } ->
+      if not (lo < hi) then invalid_arg "Distribution: truncation bounds";
+      let v = Rng.normal rng ~mean ~std in
+      if v >= lo && v <= hi then v else sample t rng
+
+let sample_n t rng n = Array.init n (fun _ -> sample t rng)
+
+let mean = function
+  | Constant v -> v
+  | Normal { mean; _ } -> mean
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Truncated_normal { mean; _ } -> mean
+
+let std = function
+  | Constant _ -> 0.0
+  | Normal { std; _ } -> std
+  | Uniform { lo; hi } -> (hi -. lo) /. sqrt 12.0
+  | Truncated_normal { std; _ } -> std
+
+let pp ppf = function
+  | Constant v -> Format.fprintf ppf "const(%.3f)" v
+  | Normal { mean; std } -> Format.fprintf ppf "N(%.3f,%.3f)" mean std
+  | Uniform { lo; hi } -> Format.fprintf ppf "U(%.3f,%.3f)" lo hi
+  | Truncated_normal { mean; std; lo; hi } ->
+      Format.fprintf ppf "TN(%.3f,%.3f)[%.3f,%.3f]" mean std lo hi

@@ -1,0 +1,20 @@
+(** Parametric sampling distributions used for process variation. *)
+
+type t =
+  | Normal of { mean : float; std : float }
+  | Uniform of { lo : float; hi : float }
+  | Truncated_normal of { mean : float; std : float; lo : float; hi : float }
+      (** rejection-sampled; [lo < hi] required *)
+  | Constant of float
+
+val sample : t -> Rng.t -> float
+
+val sample_n : t -> Rng.t -> int -> float array
+
+val mean : t -> float
+
+(** Analytic standard deviation; for the truncated normal this is the
+    untruncated parameter, not the truncated moment. *)
+val std : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; bins = Array.make bins 0 }
+
+let nbins t = Array.length t.bins
+
+let bin_index t x =
+  let w = (t.hi -. t.lo) /. float_of_int (nbins t) in
+  let i = int_of_float (Float.floor ((x -. t.lo) /. w)) in
+  if i < 0 then 0 else if i >= nbins t then nbins t - 1 else i
+
+let add t x = t.bins.(bin_index t x) <- t.bins.(bin_index t x) + 1
+
+let add_all t xs = Array.iter (add t) xs
+
+let count t = Array.fold_left ( + ) 0 t.bins
+
+let counts t = Array.copy t.bins
+
+let bin_bounds t i =
+  let w = (t.hi -. t.lo) /. float_of_int (nbins t) in
+  (t.lo +. (w *. float_of_int i), t.lo +. (w *. float_of_int (i + 1)))
+
+let pp ppf t =
+  let total = max 1 (count t) in
+  let peak = Array.fold_left max 1 t.bins in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_bounds t i in
+      let bar = String.make (c * 40 / peak) '#' in
+      Format.fprintf ppf "%9.3f..%9.3f |%-40s %5d (%4.1f%%)@," lo hi bar c
+        (100.0 *. float_of_int c /. float_of_int total))
+    t.bins;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,21 @@
+(** Fixed-bin histograms with ASCII rendering for bench reports. *)
+
+type t
+
+(** [create ~lo ~hi ~bins] covers [lo, hi) with [bins] equal bins;
+    samples outside the range land in saturating edge bins. *)
+val create : lo:float -> hi:float -> bins:int -> t
+
+val add : t -> float -> unit
+
+val add_all : t -> float array -> unit
+
+val count : t -> int
+
+val counts : t -> int array
+
+(** [(lo, hi)] bounds of bin [i]. *)
+val bin_bounds : t -> int -> float * float
+
+(** Render as rows of "lo..hi | #### count". *)
+val pp : Format.formatter -> t -> unit

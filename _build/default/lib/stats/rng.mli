@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator (xoshiro256 star-star).
+
+    Every stochastic component of the flow draws from an explicit [t]
+    so experiments are reproducible from a printed seed; the global
+    [Random] state is never touched. *)
+
+type t
+
+(** [create seed] seeds a generator; equal seeds give equal streams. *)
+val create : int -> t
+
+(** [split t] derives an independent generator, advancing [t]. *)
+val split : t -> t
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Uniform in [lo, hi). *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** Uniform integer in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Standard normal deviate (Box–Muller, cached pair). *)
+val gaussian : t -> float
+
+(** Normal with the given mean and standard deviation. *)
+val normal : t -> mean:float -> std:float -> float
+
+val bool : t -> bool
+
+(** Fisher–Yates shuffle, in place. *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t arr] picks a uniform element.
+    @raise Invalid_argument on an empty array. *)
+val choose : t -> 'a array -> 'a

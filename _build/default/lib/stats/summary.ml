@@ -1,0 +1,55 @@
+type t = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  median : float;
+  p05 : float;
+  p95 : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Summary.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let std xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.std: empty";
+  if n = 1 then 0.0
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+
+let percentile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.percentile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.percentile: q out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let i = int_of_float (Float.floor pos) in
+  let frac = pos -. float_of_int i in
+  if i >= n - 1 then sorted.(n - 1)
+  else sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+
+let of_array xs =
+  if Array.length xs = 0 then invalid_arg "Summary.of_array: empty";
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    std = std xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = percentile xs 0.5;
+    p05 = percentile xs 0.05;
+    p95 = percentile xs 0.95;
+  }
+
+let of_list xs = of_array (Array.of_list xs)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d mean=%.3f std=%.3f min=%.3f p05=%.3f med=%.3f p95=%.3f max=%.3f"
+    t.n t.mean t.std t.min t.p05 t.median t.p95 t.max

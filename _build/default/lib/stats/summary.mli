@@ -1,0 +1,27 @@
+(** Descriptive statistics over float samples. *)
+
+type t = {
+  n : int;
+  mean : float;
+  std : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p05 : float;
+  p95 : float;
+}
+
+(** @raise Invalid_argument on an empty sample. *)
+val of_array : float array -> t
+
+val of_list : float list -> t
+
+val mean : float array -> float
+
+(** Sample standard deviation; 0 for singleton samples. *)
+val std : float array -> float
+
+(** Linear-interpolated percentile, [q] in [0, 1]. *)
+val percentile : float array -> float -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/fragment_helpers.ml: Layout Opc

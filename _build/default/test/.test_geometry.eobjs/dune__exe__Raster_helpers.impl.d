@@ -1,0 +1,1 @@
+test/raster_helpers.ml: Geometry Litho

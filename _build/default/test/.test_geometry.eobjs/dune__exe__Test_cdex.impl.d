@@ -1,0 +1,1 @@
+test/test_cdex.ml: Alcotest Buffer Cdex Device Format Geometry Layout Lazy List Litho Stats

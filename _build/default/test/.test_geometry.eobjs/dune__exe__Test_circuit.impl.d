@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Buffer Circuit Float Format Hashtbl Layout List Printf Stats String

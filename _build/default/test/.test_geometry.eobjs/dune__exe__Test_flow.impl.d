@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Buffer Cdex Circuit Float Format Layout Lazy List Opc Sta String Timing_opc

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Geometry List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hotspot.ml: Alcotest Float Geometry Hotspot Layout List Litho Opc Stats

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Buffer Format Geometry Layout List Printf Stats String

@@ -1,0 +1,1 @@
+test/test_litho.ml: Alcotest Array Float Geometry Layout Lazy List Litho Raster_helpers

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Circuit Float Geometry Layout List Litho Opc Sta Stats String Timing_opc

@@ -1,0 +1,1 @@
+test/test_opc.ml: Alcotest Float Fragment_helpers Geometry Layout Lazy List Litho Opc Stats

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Circuit Device Float Format Geometry Hotspot Layout List QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Circuit Geometry Layout List Printf Route Sta Timing_opc

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Buffer Circuit Float Format Fun Layout Lazy List Printf Sta Stats String

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Fun Int List QCheck QCheck_alcotest Stats

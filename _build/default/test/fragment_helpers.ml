@@ -1,0 +1,5 @@
+(* Shared fragmentation shorthand for the OPC tests. *)
+
+let fragment polygon max_len =
+  Opc.Fragment.fragment_polygon polygon ~max_len
+    ~line_end_max:(Layout.Tech.node90.Layout.Tech.poly_min_width + 30)

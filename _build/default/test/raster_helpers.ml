@@ -1,0 +1,4 @@
+(* Shared raster fixtures for the litho tests. *)
+
+let raster_100 () =
+  Litho.Raster.create ~origin:Geometry.Point.origin ~step:5.0 ~nx:20 ~ny:20

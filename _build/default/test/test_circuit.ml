@@ -1,0 +1,357 @@
+let tech = Layout.Tech.node90
+
+let env = Circuit.Delay_model.default_env tech
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+(* ---- Netlist builder ---- *)
+
+let test_builder_basic () =
+  let b = Circuit.Netlist.builder () in
+  let a = Circuit.Netlist.new_net b in
+  Circuit.Netlist.mark_input b a;
+  let y = Circuit.Netlist.new_net b in
+  Circuit.Netlist.add_gate b ~gname:"g1" ~cell:"INV_X1" ~inputs:[ a ] ~output:y;
+  Circuit.Netlist.mark_output b y;
+  let n = Circuit.Netlist.finish b in
+  checki "one gate" 1 (Circuit.Netlist.num_gates n);
+  checki "pis" 1 (List.length n.Circuit.Netlist.primary_inputs);
+  checkb "driver found" true (Circuit.Netlist.driver n y <> None);
+  checkb "find gate" true (Circuit.Netlist.find_gate n "g1" <> None)
+
+let test_builder_duplicate_name () =
+  let b = Circuit.Netlist.builder () in
+  let a = Circuit.Netlist.new_net b in
+  Circuit.Netlist.mark_input b a;
+  let y1 = Circuit.Netlist.new_net b and y2 = Circuit.Netlist.new_net b in
+  Circuit.Netlist.add_gate b ~gname:"g" ~cell:"INV_X1" ~inputs:[ a ] ~output:y1;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Netlist.add_gate: duplicate gate g") (fun () ->
+      Circuit.Netlist.add_gate b ~gname:"g" ~cell:"INV_X1" ~inputs:[ a ] ~output:y2)
+
+let test_builder_double_driver () =
+  let b = Circuit.Netlist.builder () in
+  let a = Circuit.Netlist.new_net b in
+  Circuit.Netlist.mark_input b a;
+  let y = Circuit.Netlist.new_net b in
+  Circuit.Netlist.add_gate b ~gname:"g1" ~cell:"INV_X1" ~inputs:[ a ] ~output:y;
+  Alcotest.check_raises "double driven"
+    (Invalid_argument "Netlist.add_gate: net 1 double-driven") (fun () ->
+      Circuit.Netlist.add_gate b ~gname:"g2" ~cell:"INV_X1" ~inputs:[ a ] ~output:y)
+
+let test_builder_undriven_input () =
+  let b = Circuit.Netlist.builder () in
+  let floating = Circuit.Netlist.new_net b in
+  let y = Circuit.Netlist.new_net b in
+  Circuit.Netlist.add_gate b ~gname:"g1" ~cell:"INV_X1" ~inputs:[ floating ] ~output:y;
+  checkb "undriven rejected" true
+    (try
+       ignore (Circuit.Netlist.finish b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_cycle () =
+  let b = Circuit.Netlist.builder () in
+  let x = Circuit.Netlist.new_net b and y = Circuit.Netlist.new_net b in
+  Circuit.Netlist.add_gate b ~gname:"g1" ~cell:"INV_X1" ~inputs:[ y ] ~output:x;
+  Circuit.Netlist.add_gate b ~gname:"g2" ~cell:"INV_X1" ~inputs:[ x ] ~output:y;
+  checkb "cycle rejected" true
+    (try
+       ignore (Circuit.Netlist.finish b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_topological_order () =
+  let n = Circuit.Generator.multiplier ~bits:4 in
+  (* Every gate's non-PI inputs must be driven by an earlier gate. *)
+  let seen = Hashtbl.create 64 in
+  List.iter (fun pi -> Hashtbl.replace seen pi ()) n.Circuit.Netlist.primary_inputs;
+  Array.iter
+    (fun (g : Circuit.Netlist.gate) ->
+      List.iter
+        (fun i -> checkb "input available" true (Hashtbl.mem seen i))
+        g.Circuit.Netlist.inputs;
+      Hashtbl.replace seen g.Circuit.Netlist.output ())
+    n.Circuit.Netlist.gates
+
+let test_fanout () =
+  let n = Circuit.Generator.c17 () in
+  (* Net n11 drives g16 and g19. *)
+  match Circuit.Netlist.find_gate n "g11" with
+  | Some g ->
+      checki "fanout of g11" 2
+        (List.length (Circuit.Netlist.fanout n g.Circuit.Netlist.output))
+  | None -> Alcotest.fail "g11 missing"
+
+(* ---- Generators ---- *)
+
+let test_generators_shapes () =
+  checki "chain gates" 10 (Circuit.Netlist.num_gates (Circuit.Generator.inv_chain 10));
+  checki "c17 gates" 6 (Circuit.Netlist.num_gates (Circuit.Generator.c17 ()));
+  let adder = Circuit.Generator.ripple_adder ~bits:4 in
+  checki "adder gates" 20 (Circuit.Netlist.num_gates adder);
+  checki "adder outputs" 5 (List.length adder.Circuit.Netlist.primary_outputs);
+  let tree = Circuit.Generator.buffer_tree ~depth:3 in
+  checki "tree leaves" 8 (List.length tree.Circuit.Netlist.primary_outputs)
+
+let test_generator_cells_known () =
+  let rng = Stats.Rng.create 2 in
+  List.iter
+    (fun (_, n) ->
+      Array.iter
+        (fun (g : Circuit.Netlist.gate) ->
+          checkb ("cell known: " ^ g.Circuit.Netlist.cell) true
+            (Circuit.Cell_lib.mem g.Circuit.Netlist.cell))
+        n.Circuit.Netlist.gates)
+    (Circuit.Generator.benchmarks rng)
+
+let test_random_logic_deterministic () =
+  let gen seed =
+    let rng = Stats.Rng.create seed in
+    let n = Circuit.Generator.random_logic rng ~levels:4 ~width:6 in
+    Array.to_list n.Circuit.Netlist.gates
+    |> List.map (fun g -> (g.Circuit.Netlist.gname, g.Circuit.Netlist.cell))
+  in
+  checkb "deterministic" true (gen 7 = gen 7);
+  checkb "seed dependent" true (gen 7 <> gen 8)
+
+(* ---- Cell_lib ---- *)
+
+let test_cell_lib_layout_consistency () =
+  (* Every logical cell maps to a layout cell with the same transistor
+     names. *)
+  List.iter
+    (fun (c : Circuit.Cell_lib.t) ->
+      let lay = Layout.Stdcell.find tech c.Circuit.Cell_lib.layout_cell in
+      List.iter
+        (fun tname ->
+          checkb
+            (Printf.sprintf "%s/%s exists" c.Circuit.Cell_lib.name tname)
+            true
+            (Layout.Cell.find_transistor lay tname <> None))
+        (c.Circuit.Cell_lib.nmos_names @ c.Circuit.Cell_lib.pmos_names))
+    Circuit.Cell_lib.all
+
+let test_cell_lib_find () =
+  let c = Circuit.Cell_lib.find "NAND2_X1" in
+  checki "stack n" 2 c.Circuit.Cell_lib.stack_n;
+  checki "stack p" 1 c.Circuit.Cell_lib.stack_p;
+  checkb "unknown" true (not (Circuit.Cell_lib.mem "MAGIC_X9"))
+
+(* ---- Delay model ---- *)
+
+let inv = Circuit.Cell_lib.find "INV_X1"
+
+let drawn = Circuit.Delay_model.drawn_lengths tech
+
+let test_delay_monotonic_load () =
+  let d load =
+    (Circuit.Delay_model.gate_delay env inv ~lengths:drawn ~slew_in:20.0 ~c_load:load)
+      .Circuit.Delay_model.delay
+  in
+  checkb "more load slower" true (d 10.0 > d 2.0);
+  checkb "delay positive" true (d 1.0 > 0.0)
+
+let test_delay_monotonic_length () =
+  let d l =
+    (Circuit.Delay_model.gate_delay env inv
+       ~lengths:{ Circuit.Delay_model.l_n = l; l_p = l }
+       ~slew_in:20.0 ~c_load:5.0)
+      .Circuit.Delay_model.delay
+  in
+  checkb "longer gate slower" true (d 100.0 > d 90.0);
+  checkb "shorter gate faster" true (d 80.0 < d 90.0)
+
+let test_delay_stack_effect () =
+  let nand3 = Circuit.Cell_lib.find "NAND3_X1" in
+  let d cell =
+    (Circuit.Delay_model.gate_delay env cell ~lengths:drawn ~slew_in:20.0 ~c_load:5.0)
+      .Circuit.Delay_model.delay
+  in
+  checkb "deeper stack slower" true (d nand3 > d inv)
+
+let test_delay_drive_strength () =
+  let inv4 = Circuit.Cell_lib.find "INV_X4" in
+  let d cell =
+    (Circuit.Delay_model.gate_delay env cell ~lengths:drawn ~slew_in:20.0 ~c_load:10.0)
+      .Circuit.Delay_model.delay
+  in
+  checkb "X4 faster into same load" true (d inv4 < d inv)
+
+let test_multistage_buf () =
+  let buf = Circuit.Cell_lib.find "BUF_X1" in
+  let d cell =
+    (Circuit.Delay_model.gate_delay env cell ~lengths:drawn ~slew_in:20.0 ~c_load:5.0)
+      .Circuit.Delay_model.delay
+  in
+  checkb "buffer slower than inverter" true (d buf > d inv)
+
+let test_leakage_length_sensitivity () =
+  let leak l_off =
+    Circuit.Delay_model.cell_leakage env inv ~l_off_of:(fun _ -> Some l_off)
+  in
+  checkb "short channel leaks more" true (leak 80.0 > 1.5 *. leak 90.0);
+  checkb "drawn default" true
+    (Float.abs (Circuit.Delay_model.cell_leakage env inv ~l_off_of:(fun _ -> None)
+                -. leak 90.0)
+     < 1e-12)
+
+(* ---- NLDM ---- *)
+
+let test_nldm_matches_model_at_grid () =
+  let t = Circuit.Nldm.characterize env inv () in
+  (* At table grid points lookup must equal the generating model. *)
+  let r_table = Circuit.Nldm.lookup t ~slew_in:25.0 ~c_load:5.0 in
+  let r_model =
+    Circuit.Delay_model.gate_delay env inv ~lengths:drawn ~slew_in:25.0 ~c_load:5.0
+  in
+  Alcotest.(check (float 1e-6)) "delay equal" r_model.Circuit.Delay_model.delay
+    r_table.Circuit.Delay_model.delay
+
+let test_nldm_interpolates () =
+  let t = Circuit.Nldm.characterize env inv () in
+  let mid = Circuit.Nldm.lookup t ~slew_in:17.0 ~c_load:3.4 in
+  let lo = Circuit.Nldm.lookup t ~slew_in:10.0 ~c_load:2.0 in
+  let hi = Circuit.Nldm.lookup t ~slew_in:25.0 ~c_load:5.0 in
+  checkb "between corners" true
+    (mid.Circuit.Delay_model.delay > lo.Circuit.Delay_model.delay
+    && mid.Circuit.Delay_model.delay < hi.Circuit.Delay_model.delay)
+
+let test_nldm_clamps () =
+  let t = Circuit.Nldm.characterize env inv () in
+  let huge = Circuit.Nldm.lookup t ~slew_in:10_000.0 ~c_load:10_000.0 in
+  let corner = Circuit.Nldm.lookup t ~slew_in:250.0 ~c_load:70.0 in
+  Alcotest.(check (float 1e-6)) "clamped to corner" corner.Circuit.Delay_model.delay
+    huge.Circuit.Delay_model.delay
+
+let test_nldm_library_complete () =
+  let lib = Circuit.Nldm.build_library env in
+  List.iter
+    (fun (c : Circuit.Cell_lib.t) ->
+      ignore (Circuit.Nldm.find lib c.Circuit.Cell_lib.name))
+    Circuit.Cell_lib.all
+
+(* ---- Liberty ---- *)
+
+let test_liberty_export () =
+  let lib = Circuit.Nldm.build_library env in
+  let buf = Buffer.create 65536 in
+  let ppf = Format.formatter_of_buffer buf in
+  Circuit.Liberty.write ppf env lib;
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "library block" true (contains "library (post_opc_timing_node90)");
+  checkb "template" true (contains "lu_table_template (nldm_template)");
+  List.iter
+    (fun (c : Circuit.Cell_lib.t) ->
+      checkb ("cell " ^ c.Circuit.Cell_lib.name) true
+        (contains (Printf.sprintf "cell (%s)" c.Circuit.Cell_lib.name)))
+    Circuit.Cell_lib.all;
+  checkb "tables present" true (contains "cell_rise (nldm_template)");
+  (* Braces balance. *)
+  let depth = ref 0 and ok = ref true in
+  String.iter
+    (fun ch ->
+      if ch = '{' then incr depth
+      else if ch = '}' then begin
+        decr depth;
+        if !depth < 0 then ok := false
+      end)
+    s;
+  checkb "braces balanced" true (!ok && !depth = 0)
+
+let test_liberty_roundtrip () =
+  let lib = Circuit.Nldm.build_library env in
+  let buf = Buffer.create 65536 in
+  let ppf = Format.formatter_of_buffer buf in
+  Circuit.Liberty.write ppf env lib;
+  Format.pp_print_flush ppf ();
+  let back = Circuit.Liberty.read (Buffer.contents buf) in
+  List.iter
+    (fun (c : Circuit.Cell_lib.t) ->
+      let orig = Circuit.Nldm.find lib c.Circuit.Cell_lib.name in
+      let re = Circuit.Nldm.find back c.Circuit.Cell_lib.name in
+      Alcotest.(check (float 1e-3)) "input cap" orig.Circuit.Nldm.input_cap
+        re.Circuit.Nldm.input_cap;
+      (* Lookups through the reloaded tables match the originals. *)
+      List.iter
+        (fun (slew_in, c_load) ->
+          let a = Circuit.Nldm.lookup orig ~slew_in ~c_load in
+          let b = Circuit.Nldm.lookup re ~slew_in ~c_load in
+          Alcotest.(check (float 1e-3)) "delay" a.Circuit.Delay_model.delay
+            b.Circuit.Delay_model.delay;
+          Alcotest.(check (float 1e-3)) "slew" a.Circuit.Delay_model.slew_out
+            b.Circuit.Delay_model.slew_out)
+        [ (5.0, 1.0); (25.0, 5.0); (100.0, 40.0) ])
+    Circuit.Cell_lib.all
+
+(* ---- Loads ---- *)
+
+let test_loads () =
+  let n = Circuit.Generator.c17 () in
+  let loads = Circuit.Loads.of_netlist env n in
+  (* n11 fans out to two gates; its load must exceed a PO-only net. *)
+  match Circuit.Netlist.find_gate n "g11" with
+  | Some g11 ->
+      let fanout2 = loads g11.Circuit.Netlist.output in
+      List.iter
+        (fun po -> checkb "po load from external" true (loads po >= Circuit.Loads.output_load))
+        n.Circuit.Netlist.primary_outputs;
+      checkb "fanout load larger than single pin" true
+        (fanout2 > Circuit.Delay_model.input_cap env (Circuit.Cell_lib.find "NAND2_X1"))
+  | None -> Alcotest.fail "g11"
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "netlist",
+        [
+          Alcotest.test_case "builder" `Quick test_builder_basic;
+          Alcotest.test_case "duplicate name" `Quick test_builder_duplicate_name;
+          Alcotest.test_case "double driver" `Quick test_builder_double_driver;
+          Alcotest.test_case "undriven" `Quick test_builder_undriven_input;
+          Alcotest.test_case "cycle" `Quick test_builder_cycle;
+          Alcotest.test_case "topo order" `Quick test_topological_order;
+          Alcotest.test_case "fanout" `Quick test_fanout;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "shapes" `Quick test_generators_shapes;
+          Alcotest.test_case "cells known" `Quick test_generator_cells_known;
+          Alcotest.test_case "deterministic" `Quick test_random_logic_deterministic;
+        ] );
+      ( "cell_lib",
+        [
+          Alcotest.test_case "layout consistency" `Quick test_cell_lib_layout_consistency;
+          Alcotest.test_case "find" `Quick test_cell_lib_find;
+        ] );
+      ( "delay",
+        [
+          Alcotest.test_case "load monotonic" `Quick test_delay_monotonic_load;
+          Alcotest.test_case "length monotonic" `Quick test_delay_monotonic_length;
+          Alcotest.test_case "stack effect" `Quick test_delay_stack_effect;
+          Alcotest.test_case "drive strength" `Quick test_delay_drive_strength;
+          Alcotest.test_case "multi-stage" `Quick test_multistage_buf;
+          Alcotest.test_case "leakage" `Quick test_leakage_length_sensitivity;
+        ] );
+      ( "nldm",
+        [
+          Alcotest.test_case "grid match" `Quick test_nldm_matches_model_at_grid;
+          Alcotest.test_case "interpolation" `Quick test_nldm_interpolates;
+          Alcotest.test_case "clamping" `Quick test_nldm_clamps;
+          Alcotest.test_case "library" `Quick test_nldm_library_complete;
+        ] );
+      ( "liberty",
+        [
+          Alcotest.test_case "export" `Quick test_liberty_export;
+          Alcotest.test_case "roundtrip" `Quick test_liberty_roundtrip;
+        ] );
+      ("loads", [ Alcotest.test_case "loads" `Quick test_loads ]);
+    ]

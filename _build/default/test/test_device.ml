@@ -1,0 +1,155 @@
+let checkb = Alcotest.(check bool)
+
+let checkf eps msg a b = Alcotest.(check (float eps)) msg a b
+
+let n = Device.Mosfet.nmos_90
+
+let p = Device.Mosfet.pmos_90
+
+(* ---- Mosfet ---- *)
+
+let test_vth_rolloff () =
+  checkb "short channel lowers Vth" true
+    (Device.Mosfet.vth n ~l:70.0 < Device.Mosfet.vth n ~l:90.0);
+  checkb "long channel approaches vth0" true
+    (Float.abs (Device.Mosfet.vth n ~l:300.0 -. n.Device.Mosfet.vth0) < 0.001)
+
+let test_ion_monotonic () =
+  let i90 = Device.Mosfet.ion n ~w:600.0 ~l:90.0 in
+  let i80 = Device.Mosfet.ion n ~w:600.0 ~l:80.0 in
+  let i100 = Device.Mosfet.ion n ~w:600.0 ~l:100.0 in
+  checkb "shorter is stronger" true (i80 > i90);
+  checkb "longer is weaker" true (i100 < i90);
+  checkb "width scales" true
+    (Device.Mosfet.ion n ~w:1200.0 ~l:90.0 > 1.9 *. i90)
+
+let test_ion_magnitude () =
+  (* Drive should be in the hundreds of uA for a 600nm device. *)
+  let i = Device.Mosfet.ion n ~w:600.0 ~l:90.0 in
+  checkb "plausible drive" true (i > 100.0 && i < 2000.0)
+
+let test_pmos_weaker () =
+  checkb "pmos weaker than nmos" true
+    (Device.Mosfet.ion p ~w:600.0 ~l:90.0 < Device.Mosfet.ion n ~w:600.0 ~l:90.0)
+
+let test_ioff_exponential () =
+  let leak l = Device.Mosfet.ioff n ~w:600.0 ~l in
+  let r_down = leak 80.0 /. leak 90.0 in
+  let r_up = leak 100.0 /. leak 90.0 in
+  checkb "shorter leaks more" true (r_down > 1.2);
+  checkb "longer leaks less" true (r_up < 0.95);
+  (* Exponential: the 10nm-down ratio exceeds the inverse 10nm-up ratio. *)
+  checkb "asymmetric (convex)" true (r_down > 1.0 /. r_up)
+
+let test_req_and_cgate () =
+  checkb "req positive" true (Device.Mosfet.req n ~w:600.0 ~l:90.0 > 0.0);
+  let c = Device.Mosfet.cgate n ~w:600.0 ~l:90.0 in
+  checkb "cgate in plausible fF range" true (c > 0.1 && c < 10.0)
+
+let test_invalid_geometry () =
+  Alcotest.check_raises "zero width"
+    (Invalid_argument "Mosfet.ion: non-positive geometry") (fun () ->
+      ignore (Device.Mosfet.ion n ~w:0.0 ~l:90.0))
+
+(* ---- Gate_profile ---- *)
+
+let test_profile_basics () =
+  let pr = Device.Gate_profile.of_cds ~w:600.0 [ 88.0; 90.0; 92.0 ] in
+  checkf 1e-9 "total width" 600.0 (Device.Gate_profile.total_width pr);
+  checkf 1e-9 "mean" 90.0 (Device.Gate_profile.mean_length pr);
+  checkf 1e-9 "min" 88.0 (Device.Gate_profile.min_length pr);
+  checkf 1e-9 "max" 92.0 (Device.Gate_profile.max_length pr)
+
+let test_profile_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Gate_profile.of_cds: no CDs")
+    (fun () -> ignore (Device.Gate_profile.of_cds ~w:600.0 []))
+
+(* ---- Leff ---- *)
+
+let test_leff_rectangular_identity () =
+  let pr = Device.Gate_profile.rectangular ~w:600.0 ~l:90.0 in
+  let r = Device.Leff.reduce n pr in
+  checkf 0.05 "l_on = drawn" 90.0 r.Device.Leff.l_on;
+  checkf 0.05 "l_off = drawn" 90.0 r.Device.Leff.l_off
+
+let test_leff_mixed_profile () =
+  let pr = Device.Gate_profile.of_cds ~w:600.0 [ 80.0; 90.0; 100.0 ] in
+  let r = Device.Leff.reduce n pr in
+  (* Leakage equivalent is dominated by the short slice. *)
+  checkb "l_off < l_on" true (r.Device.Leff.l_off < r.Device.Leff.l_on);
+  checkb "l_off below mean" true (r.Device.Leff.l_off < 90.0);
+  checkb "within slice bounds" true
+    (r.Device.Leff.l_on > 80.0 && r.Device.Leff.l_on < 100.0)
+
+let test_leff_current_match () =
+  let pr = Device.Gate_profile.of_cds ~w:600.0 [ 84.0; 88.0; 95.0; 91.0 ] in
+  let r = Device.Leff.reduce n pr in
+  checkf 1.0 "ion reproduced at l_on" r.Device.Leff.ion_total
+    (Device.Mosfet.ion n ~w:600.0 ~l:r.Device.Leff.l_on);
+  let ioff_model = Device.Mosfet.ioff n ~w:600.0 ~l:r.Device.Leff.l_off in
+  checkb "ioff reproduced at l_off" true
+    (Float.abs (ioff_model -. r.Device.Leff.ioff_total)
+     /. r.Device.Leff.ioff_total
+    < 0.02)
+
+let test_leff_naive_overestimates_l_off () =
+  let pr = Device.Gate_profile.of_cds ~w:600.0 [ 78.0; 92.0; 96.0 ] in
+  let smart = Device.Leff.reduce n pr in
+  let naive = Device.Leff.reduce_naive n pr in
+  checkb "naive misses leakage" true
+    (naive.Device.Leff.ioff_total < smart.Device.Leff.ioff_total)
+
+let prop_leff_bounded =
+  QCheck.Test.make ~name:"l_on within slice min/max" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 9) (float_range 60.0 130.0))
+    (fun cds ->
+      QCheck.assume (cds <> []);
+      let pr = Device.Gate_profile.of_cds ~w:600.0 cds in
+      let r = Device.Leff.reduce n pr in
+      let lo = List.fold_left Float.min infinity cds in
+      let hi = List.fold_left Float.max neg_infinity cds in
+      r.Device.Leff.l_on >= lo -. 0.5
+      && r.Device.Leff.l_on <= hi +. 0.5
+      && r.Device.Leff.l_off >= lo -. 0.5
+      && r.Device.Leff.l_off <= r.Device.Leff.l_on +. 0.01)
+
+let prop_leff_monotone_shift =
+  QCheck.Test.make ~name:"uniform CD shift moves l_on with it" ~count:100
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 6) (float_range 70.0 110.0))
+              (float_range 1.0 8.0))
+    (fun (cds, shift) ->
+      QCheck.assume (cds <> []);
+      let pr1 = Device.Gate_profile.of_cds ~w:600.0 cds in
+      let pr2 = Device.Gate_profile.of_cds ~w:600.0 (List.map (fun c -> c +. shift) cds) in
+      let r1 = Device.Leff.reduce n pr1 and r2 = Device.Leff.reduce n pr2 in
+      r2.Device.Leff.l_on > r1.Device.Leff.l_on)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_leff_bounded; prop_leff_monotone_shift ]
+
+let () =
+  Alcotest.run "device"
+    [
+      ( "mosfet",
+        [
+          Alcotest.test_case "vth rolloff" `Quick test_vth_rolloff;
+          Alcotest.test_case "ion monotonic" `Quick test_ion_monotonic;
+          Alcotest.test_case "ion magnitude" `Quick test_ion_magnitude;
+          Alcotest.test_case "pmos weaker" `Quick test_pmos_weaker;
+          Alcotest.test_case "ioff exponential" `Quick test_ioff_exponential;
+          Alcotest.test_case "req/cgate" `Quick test_req_and_cgate;
+          Alcotest.test_case "invalid" `Quick test_invalid_geometry;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "basics" `Quick test_profile_basics;
+          Alcotest.test_case "invalid" `Quick test_profile_invalid;
+        ] );
+      ( "leff",
+        [
+          Alcotest.test_case "rectangular" `Quick test_leff_rectangular_identity;
+          Alcotest.test_case "mixed" `Quick test_leff_mixed_profile;
+          Alcotest.test_case "current match" `Quick test_leff_current_match;
+          Alcotest.test_case "naive underestimates" `Quick test_leff_naive_overestimates_l_off;
+        ] );
+      ("leff-properties", qsuite);
+    ]

@@ -1,0 +1,230 @@
+(* End-to-end tests of the paper's flow on a tiny netlist.  The litho
+   pipeline makes these the slowest tests in the suite; the circuit is
+   kept small (c17: 6 gates) and the flow result is shared. *)
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let cheap_config () =
+  let c = Timing_opc.Flow.default_config () in
+  {
+    c with
+    Timing_opc.Flow.opc_config =
+      { c.Timing_opc.Flow.opc_config with Opc.Model_opc.iterations = 4 };
+    slices = 5;
+  }
+
+let run = lazy (Timing_opc.Flow.run (cheap_config ()) (Circuit.Generator.c17 ()))
+
+let test_placement_matches_netlist () =
+  let r = Lazy.force run in
+  Array.iter
+    (fun (g : Circuit.Netlist.gate) ->
+      checkb
+        ("instance placed: " ^ g.Circuit.Netlist.gname)
+        true
+        (Layout.Chip.find_instance r.Timing_opc.Flow.chip g.Circuit.Netlist.gname <> None))
+    r.Timing_opc.Flow.netlist.Circuit.Netlist.gates
+
+let test_annotation_covers_gates () =
+  let r = Lazy.force run in
+  let gates = Layout.Chip.gates r.Timing_opc.Flow.chip in
+  checki "all gate sites annotated" (List.length gates)
+    (Cdex.Annotate.size r.Timing_opc.Flow.annotation);
+  checki "one CD record per gate" (List.length gates)
+    (List.length r.Timing_opc.Flow.cds)
+
+let test_all_gates_print () =
+  let r = Lazy.force run in
+  List.iter
+    (fun (cd : Cdex.Gate_cd.t) ->
+      checkb
+        ("printed: " ^ Layout.Chip.gate_key cd.Cdex.Gate_cd.gate)
+        true cd.Cdex.Gate_cd.printed)
+    r.Timing_opc.Flow.cds
+
+let test_post_opc_cd_near_drawn () =
+  let r = Lazy.force run in
+  List.iter
+    (fun (cd : Cdex.Gate_cd.t) ->
+      let d = Cdex.Gate_cd.delta_cd cd in
+      checkb "residual CD error < 6nm" true (Float.abs d < 6.0))
+    r.Timing_opc.Flow.cds
+
+let test_timing_views_differ () =
+  let r = Lazy.force run in
+  let a = Sta.Timing.critical_delay r.Timing_opc.Flow.drawn_sta in
+  let b = Sta.Timing.critical_delay r.Timing_opc.Flow.post_opc_sta in
+  checkb "views not identical" true (Float.abs (a -. b) > 0.01);
+  checkb "views within 15%" true (Float.abs (a -. b) /. a < 0.15)
+
+let test_clock_period_margin () =
+  let r = Lazy.force run in
+  let crit = Sta.Timing.critical_delay r.Timing_opc.Flow.drawn_sta in
+  checkb "clock above critical" true (r.Timing_opc.Flow.clock_period > crit);
+  checkb "drawn wns positive" true (r.Timing_opc.Flow.drawn_sta.Sta.Timing.wns > 0.0)
+
+let test_lengths_of_annotation () =
+  let r = Lazy.force run in
+  let lookup =
+    Timing_opc.Flow.lengths_of_annotation r.Timing_opc.Flow.annotation
+      r.Timing_opc.Flow.netlist
+  in
+  Array.iter
+    (fun (g : Circuit.Netlist.gate) ->
+      match lookup g.Circuit.Netlist.gname with
+      | Some l ->
+          checkb "l_n plausible" true
+            (l.Circuit.Delay_model.l_n > 70.0 && l.Circuit.Delay_model.l_n < 110.0)
+      | None -> Alcotest.fail ("no lengths for " ^ g.Circuit.Netlist.gname))
+    r.Timing_opc.Flow.netlist.Circuit.Netlist.gates
+
+let test_leakage_views () =
+  let r = Lazy.force run in
+  let drawn = Timing_opc.Flow.leakage r ~annotated:false in
+  let annotated = Timing_opc.Flow.leakage r ~annotated:true in
+  checkb "leakage positive" true (drawn > 0.0);
+  checkb "annotated differs" true (Float.abs (annotated -. drawn) /. drawn > 0.001)
+
+let test_corner_views () =
+  let r = Lazy.force run in
+  let corners = Timing_opc.Flow.corner_views r ~spread:8.0 in
+  checki "three corners" 3 (List.length corners);
+  let delay name =
+    let _, t = List.find (fun ((c : Sta.Corners.corner), _) -> c.Sta.Corners.name = name) corners in
+    Sta.Timing.critical_delay t
+  in
+  checkb "slow > fast" true (delay "slow" > delay "fast")
+
+let test_critical_gates_subset () =
+  let r = Lazy.force run in
+  let critical =
+    Timing_opc.Flow.critical_gates r ~view:r.Timing_opc.Flow.drawn_sta ~margin:5.0
+  in
+  let all = Layout.Chip.gates r.Timing_opc.Flow.chip in
+  checkb "some critical gates" true (critical <> []);
+  checkb "subset of all" true (List.length critical <= List.length all)
+
+let test_compare_functions () =
+  let r = Lazy.force run in
+  let d =
+    Timing_opc.Compare.slack_delta r.Timing_opc.Flow.drawn_sta
+      r.Timing_opc.Flow.post_opc_sta
+  in
+  checkb "wns_a recorded" true
+    (Float.abs (d.Timing_opc.Compare.wns_a -. r.Timing_opc.Flow.drawn_sta.Sta.Timing.wns)
+    < 1e-9);
+  let ro =
+    Timing_opc.Compare.path_reorder r.Timing_opc.Flow.drawn_sta
+      r.Timing_opc.Flow.post_opc_sta
+  in
+  checkb "spearman bounded" true
+    (ro.Timing_opc.Compare.spearman >= -1.0 && ro.Timing_opc.Compare.spearman <= 1.0);
+  let rt =
+    Timing_opc.Compare.rank_table r.Timing_opc.Flow.drawn_sta
+      r.Timing_opc.Flow.post_opc_sta
+  in
+  checki "rank rows = endpoints" (List.length r.Timing_opc.Flow.drawn_sta.Sta.Timing.paths)
+    (List.length rt)
+
+let test_selective_run () =
+  let r = Lazy.force run in
+  let selected =
+    Timing_opc.Flow.critical_gates r ~view:r.Timing_opc.Flow.drawn_sta ~margin:5.0
+  in
+  let r2 = Timing_opc.Flow.run_selective r ~selected in
+  checki "same CD record count" (List.length r.Timing_opc.Flow.cds)
+    (List.length r2.Timing_opc.Flow.cds);
+  checkb "selective OPC measured fewer sites" true
+    (r2.Timing_opc.Flow.opc_stats.Opc.Model_opc.sites
+    <= r.Timing_opc.Flow.opc_stats.Opc.Model_opc.sites);
+  checkb "timing computed" true
+    (Sta.Timing.critical_delay r2.Timing_opc.Flow.post_opc_sta > 0.0)
+
+let test_csv_roundtrip_through_flow () =
+  let r = Lazy.force run in
+  let buf = Buffer.create 65536 in
+  let ppf = Format.formatter_of_buffer buf in
+  Cdex.Csv.write ppf r.Timing_opc.Flow.cds;
+  Format.pp_print_flush ppf ();
+  let back = Cdex.Csv.read (Buffer.contents buf) in
+  checki "all records survive" (List.length r.Timing_opc.Flow.cds) (List.length back);
+  (* Rebuilt annotation gives identical timing. *)
+  let config = r.Timing_opc.Flow.config in
+  let ann =
+    Cdex.Annotate.build ~nmos:config.Timing_opc.Flow.env.Circuit.Delay_model.nmos
+      ~pmos:config.Timing_opc.Flow.env.Circuit.Delay_model.pmos back
+  in
+  let delay =
+    Sta.Timing.model_delay config.Timing_opc.Flow.env
+      ~lengths_of:
+        (Timing_opc.Flow.lengths_of_annotation ann r.Timing_opc.Flow.netlist)
+  in
+  let sta =
+    Sta.Timing.analyze r.Timing_opc.Flow.netlist ~loads:r.Timing_opc.Flow.loads ~delay
+      ~clock_period:r.Timing_opc.Flow.clock_period ()
+  in
+  Alcotest.(check (float 0.01)) "same WNS after reload"
+    r.Timing_opc.Flow.post_opc_sta.Sta.Timing.wns sta.Sta.Timing.wns
+
+let test_rule_explore_smoke () =
+  let config = cheap_config () in
+  let samples =
+    Timing_opc.Rule_explore.sweep config Timing_opc.Rule_explore.Poly_pitch
+      ~values:[ 350; 420 ] ~block:4
+  in
+  checki "two samples" 2 (List.length samples);
+  (match samples with
+  | [ tight; loose ] ->
+      checkb "tighter pitch denser" true
+        (tight.Timing_opc.Rule_explore.cell_area_um2
+        < loose.Timing_opc.Rule_explore.cell_area_um2);
+      List.iter
+        (fun (s : Timing_opc.Rule_explore.sample) ->
+          checkb "printed fraction sane" true
+            (s.Timing_opc.Rule_explore.printed_fraction > 0.9);
+          checkb "cd mean sane" true
+            (s.Timing_opc.Rule_explore.cd_mean > 80.0
+            && s.Timing_opc.Rule_explore.cd_mean < 100.0))
+        samples
+  | _ -> Alcotest.fail "expected two samples")
+
+let test_report_table_renders () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Timing_opc.Report.table ppf ~title:"t" ~header:[ "a"; "bb" ]
+    [ [ "1"; "2" ]; [ "333"; "4" ] ];
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "title present" true (contains "== t ==");
+  checkb "row present" true (contains "333")
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "placement" `Slow test_placement_matches_netlist;
+          Alcotest.test_case "annotation coverage" `Slow test_annotation_covers_gates;
+          Alcotest.test_case "all print" `Slow test_all_gates_print;
+          Alcotest.test_case "CD residual" `Slow test_post_opc_cd_near_drawn;
+          Alcotest.test_case "views differ" `Slow test_timing_views_differ;
+          Alcotest.test_case "clock margin" `Slow test_clock_period_margin;
+          Alcotest.test_case "lengths lookup" `Slow test_lengths_of_annotation;
+          Alcotest.test_case "leakage" `Slow test_leakage_views;
+          Alcotest.test_case "corners" `Slow test_corner_views;
+          Alcotest.test_case "critical gates" `Slow test_critical_gates_subset;
+          Alcotest.test_case "compare" `Slow test_compare_functions;
+          Alcotest.test_case "selective" `Slow test_selective_run;
+          Alcotest.test_case "csv roundtrip" `Slow test_csv_roundtrip_through_flow;
+        ] );
+      ( "rule-explore",
+        [ Alcotest.test_case "smoke" `Slow test_rule_explore_smoke ] );
+      ("report", [ Alcotest.test_case "table" `Quick test_report_table_renders ]);
+    ]

@@ -1,0 +1,354 @@
+module G = Geometry
+
+let check = Alcotest.(check int)
+
+let checkb = Alcotest.(check bool)
+
+(* ---- Point ---- *)
+
+let test_point_arith () =
+  let a = G.Point.make 3 4 and b = G.Point.make (-1) 2 in
+  checkb "add" true (G.Point.equal (G.Point.add a b) (G.Point.make 2 6));
+  checkb "sub" true (G.Point.equal (G.Point.sub a b) (G.Point.make 4 2));
+  checkb "neg" true (G.Point.equal (G.Point.neg a) (G.Point.make (-3) (-4)));
+  check "dot" 5 (G.Point.dot a b);
+  check "cross" 10 (G.Point.cross a b);
+  check "dist2" 20 (G.Point.dist2 a b);
+  check "manhattan" 6 (G.Point.manhattan a b)
+
+let test_point_order () =
+  let a = G.Point.make 1 5 and b = G.Point.make 2 0 in
+  checkb "compare x first" true (G.Point.compare a b < 0);
+  checkb "compare_yx y first" true (G.Point.compare_yx b a < 0)
+
+(* ---- Rect ---- *)
+
+let test_rect_normalise () =
+  let r = G.Rect.make ~lx:10 ~ly:20 ~hx:0 ~hy:5 in
+  check "lx" 0 r.G.Rect.lx;
+  check "ly" 5 r.G.Rect.ly;
+  check "hx" 10 r.G.Rect.hx;
+  check "hy" 20 r.G.Rect.hy;
+  check "area" 150 (G.Rect.area r)
+
+let test_rect_of_center () =
+  let r = G.Rect.of_center ~cx:100 ~cy:200 ~w:50 ~h:30 in
+  check "width" 50 (G.Rect.width r);
+  check "height" 30 (G.Rect.height r);
+  checkb "center" true (G.Point.equal (G.Rect.center r) (G.Point.make 100 200))
+
+let test_rect_relations () =
+  let a = G.Rect.make ~lx:0 ~ly:0 ~hx:10 ~hy:10 in
+  let b = G.Rect.make ~lx:5 ~ly:5 ~hx:15 ~hy:15 in
+  let c = G.Rect.make ~lx:10 ~ly:0 ~hx:20 ~hy:10 in
+  let d = G.Rect.make ~lx:30 ~ly:30 ~hx:40 ~hy:40 in
+  checkb "overlaps" true (G.Rect.overlaps a b);
+  checkb "no overlap edge" false (G.Rect.overlaps a c);
+  checkb "touches edge" true (G.Rect.touches a c);
+  checkb "disjoint" false (G.Rect.touches a d);
+  (match G.Rect.inter a b with
+  | Some i -> check "inter area" 25 (G.Rect.area i)
+  | None -> Alcotest.fail "expected intersection");
+  checkb "inter disjoint" true (G.Rect.inter a d = None);
+  check "hull area" 1600 (G.Rect.area (G.Rect.hull a d))
+
+let test_rect_separation () =
+  let a = G.Rect.make ~lx:0 ~ly:0 ~hx:10 ~hy:10 in
+  let b = G.Rect.make ~lx:25 ~ly:0 ~hx:30 ~hy:10 in
+  let c = G.Rect.make ~lx:20 ~ly:40 ~hx:30 ~hy:50 in
+  Alcotest.(check (pair int int)) "horizontal gap" (15, 0) (G.Rect.separation a b);
+  Alcotest.(check (pair int int)) "diagonal gap" (10, 30) (G.Rect.separation a c)
+
+let test_rect_inflate_clamp () =
+  let a = G.Rect.make ~lx:0 ~ly:0 ~hx:10 ~hy:10 in
+  let shrunk = G.Rect.inflate a (-20) in
+  checkb "over-shrink degenerates" true (G.Rect.is_empty shrunk);
+  check "inflate grows" 900 (G.Rect.area (G.Rect.inflate a 10))
+
+(* ---- Edge ---- *)
+
+let test_edge_basic () =
+  let e = G.Edge.make (G.Point.make 0 0) (G.Point.make 10 0) in
+  checkb "horizontal" true (G.Edge.orientation e = G.Edge.Horizontal);
+  check "length" 10 (G.Edge.length e);
+  (* CCW interior above a left-to-right bottom edge: outward points down. *)
+  checkb "outward normal" true
+    (G.Point.equal (G.Edge.outward_normal e) (G.Point.make 0 (-1)));
+  check "perp" 0 (G.Edge.perp_coord e);
+  Alcotest.(check (pair int int)) "span" (0, 10) (G.Edge.span e)
+
+let test_edge_split () =
+  let e = G.Edge.make (G.Point.make 0 0) (G.Point.make 0 100) in
+  let parts = G.Edge.split e ~max_len:30 in
+  check "4 fragments" 4 (List.length parts);
+  check "lengths sum" 100 (List.fold_left (fun acc f -> acc + G.Edge.length f) 0 parts);
+  (* Fragments chain head to tail. *)
+  let rec chained = function
+    | a :: (b :: _ as rest) ->
+        G.Point.equal a.G.Edge.b b.G.Edge.a && chained rest
+    | [ _ ] | [] -> true
+  in
+  checkb "chained" true (chained parts)
+
+let test_edge_shift () =
+  let e = G.Edge.make (G.Point.make 0 0) (G.Point.make 10 0) in
+  let s = G.Edge.shift e 5 in
+  check "shifted down (outward)" (-5) (G.Edge.perp_coord s)
+
+let test_edge_invalid () =
+  Alcotest.check_raises "diagonal rejected" (Invalid_argument "Edge.make: not axis-aligned")
+    (fun () -> ignore (G.Edge.make (G.Point.make 0 0) (G.Point.make 3 4)))
+
+(* ---- Polygon ---- *)
+
+let square = G.Polygon.of_rect (G.Rect.make ~lx:0 ~ly:0 ~hx:10 ~hy:10)
+
+let lshape =
+  G.Polygon.make
+    [ G.Point.make 0 0; G.Point.make 20 0; G.Point.make 20 10;
+      G.Point.make 10 10; G.Point.make 10 20; G.Point.make 0 20 ]
+
+let test_polygon_area () =
+  check "square area" 100 (G.Polygon.area square);
+  check "L area" 300 (G.Polygon.area lshape);
+  check "square perimeter" 40 (G.Polygon.perimeter square);
+  check "L perimeter" 80 (G.Polygon.perimeter lshape)
+
+let test_polygon_ccw () =
+  (* Clockwise input gets reversed. *)
+  let cw =
+    G.Polygon.make
+      [ G.Point.make 0 0; G.Point.make 0 10; G.Point.make 10 10; G.Point.make 10 0 ]
+  in
+  checkb "area positive" true (G.Polygon.area cw > 0);
+  checkb "equals ccw square" true (G.Polygon.equal cw square)
+
+let test_polygon_collinear_removed () =
+  let p =
+    G.Polygon.make
+      [ G.Point.make 0 0; G.Point.make 5 0; G.Point.make 10 0;
+        G.Point.make 10 10; G.Point.make 0 10 ]
+  in
+  check "collinear vertex dropped" 4 (G.Polygon.num_vertices p)
+
+let test_polygon_contains () =
+  checkb "inside" true (G.Polygon.contains_point lshape (G.Point.make 5 5));
+  checkb "in notch" false (G.Polygon.contains_point lshape (G.Point.make 15 15));
+  checkb "boundary" true (G.Polygon.contains_point lshape (G.Point.make 0 5));
+  checkb "outside" false (G.Polygon.contains_point lshape (G.Point.make 25 5))
+
+let test_polygon_edges () =
+  let edges = G.Polygon.edges lshape in
+  check "edge count" 6 (List.length edges);
+  (* Edge lengths sum to perimeter. *)
+  check "perimeter" (G.Polygon.perimeter lshape)
+    (List.fold_left (fun acc e -> acc + G.Edge.length e) 0 edges)
+
+let test_polygon_is_rect () =
+  checkb "square is rect" true (G.Polygon.is_rect square <> None);
+  checkb "L is not" true (G.Polygon.is_rect lshape = None)
+
+(* ---- Region ---- *)
+
+let test_region_union_disjoint () =
+  let a = G.Region.of_rect (G.Rect.make ~lx:0 ~ly:0 ~hx:10 ~hy:10) in
+  let b = G.Region.of_rect (G.Rect.make ~lx:20 ~ly:0 ~hx:30 ~hy:10) in
+  check "area sums" 200 (G.Region.area (G.Region.union a b))
+
+let test_region_union_overlap () =
+  let a = G.Region.of_rect (G.Rect.make ~lx:0 ~ly:0 ~hx:10 ~hy:10) in
+  let b = G.Region.of_rect (G.Rect.make ~lx:5 ~ly:5 ~hx:15 ~hy:15) in
+  check "union area" 175 (G.Region.area (G.Region.union a b));
+  check "inter area" 25 (G.Region.area (G.Region.inter a b));
+  check "diff area" 75 (G.Region.area (G.Region.diff a b));
+  check "xor area" 150 (G.Region.area (G.Region.xor a b))
+
+let test_region_of_polygon () =
+  check "L region area" 300 (G.Region.area (G.Region.of_polygon lshape));
+  let rects = G.Region.to_rects (G.Region.of_polygon lshape) in
+  check "L decomposes to 2" 2 (List.length rects)
+
+let test_region_coalesce () =
+  (* Two stacked identical-span rects merge into one. *)
+  let r =
+    G.Region.of_rects
+      [ G.Rect.make ~lx:0 ~ly:0 ~hx:10 ~hy:5; G.Rect.make ~lx:0 ~ly:5 ~hx:10 ~hy:10 ]
+  in
+  check "merged" 1 (List.length (G.Region.to_rects r));
+  check "area" 100 (G.Region.area r)
+
+let test_region_equal_canonical () =
+  let a =
+    G.Region.of_rects
+      [ G.Rect.make ~lx:0 ~ly:0 ~hx:10 ~hy:10; G.Rect.make ~lx:5 ~ly:0 ~hx:15 ~hy:10 ]
+  in
+  let b = G.Region.of_rect (G.Rect.make ~lx:0 ~ly:0 ~hx:15 ~hy:10) in
+  checkb "same set" true (G.Region.equal a b)
+
+(* qcheck: random rect soups obey inclusion–exclusion. *)
+let arb_rect =
+  QCheck.map
+    (fun (x, y, w, h) -> G.Rect.make ~lx:x ~ly:y ~hx:(x + 1 + w) ~hy:(y + 1 + h))
+    QCheck.(quad (int_range (-50) 50) (int_range (-50) 50) (int_range 0 40) (int_range 0 40))
+
+let arb_rects = QCheck.list_of_size (QCheck.Gen.int_range 1 6) arb_rect
+
+let prop_inclusion_exclusion =
+  QCheck.Test.make ~name:"region inclusion-exclusion" ~count:200
+    (QCheck.pair arb_rects arb_rects)
+    (fun (ra, rb) ->
+      let a = G.Region.of_rects ra and b = G.Region.of_rects rb in
+      G.Region.area (G.Region.union a b) + G.Region.area (G.Region.inter a b)
+      = G.Region.area a + G.Region.area b)
+
+let prop_diff_partition =
+  QCheck.Test.make ~name:"region diff partitions union" ~count:200
+    (QCheck.pair arb_rects arb_rects)
+    (fun (ra, rb) ->
+      let a = G.Region.of_rects ra and b = G.Region.of_rects rb in
+      G.Region.area (G.Region.diff a b)
+      + G.Region.area (G.Region.diff b a)
+      + G.Region.area (G.Region.inter a b)
+      = G.Region.area (G.Region.union a b))
+
+let prop_union_idempotent =
+  QCheck.Test.make ~name:"region union idempotent" ~count:200 arb_rects (fun rs ->
+      let a = G.Region.of_rects rs in
+      G.Region.equal (G.Region.union a a) a)
+
+let prop_to_rects_disjoint =
+  QCheck.Test.make ~name:"region decomposition disjoint" ~count:200 arb_rects
+    (fun rs ->
+      let rects = G.Region.to_rects (G.Region.of_rects rs) in
+      let rec pairs = function
+        | [] -> true
+        | r :: rest -> List.for_all (fun q -> not (G.Rect.overlaps r q)) rest && pairs rest
+      in
+      pairs rects)
+
+(* ---- Transform ---- *)
+
+let all_orients =
+  [ G.Transform.R0; R90; R180; R270; MX; MY; MXR90; MYR90 ]
+
+let test_transform_invert () =
+  let p = G.Point.make 17 (-5) in
+  List.iter
+    (fun orient ->
+      let t = G.Transform.make ~orient (G.Point.make 100 200) in
+      let q = G.Transform.apply_point (G.Transform.invert t) (G.Transform.apply_point t p) in
+      checkb "roundtrip" true (G.Point.equal p q))
+    all_orients
+
+let test_transform_compose () =
+  let p = G.Point.make 3 7 in
+  List.iter
+    (fun o1 ->
+      List.iter
+        (fun o2 ->
+          let t1 = G.Transform.make ~orient:o1 (G.Point.make 11 (-3)) in
+          let t2 = G.Transform.make ~orient:o2 (G.Point.make (-7) 19) in
+          let direct = G.Transform.apply_point t1 (G.Transform.apply_point t2 p) in
+          let composed = G.Transform.apply_point (G.Transform.compose t1 t2) p in
+          checkb "compose consistent" true (G.Point.equal direct composed))
+        all_orients)
+    all_orients
+
+let test_transform_rect_area () =
+  let r = G.Rect.make ~lx:0 ~ly:0 ~hx:7 ~hy:3 in
+  List.iter
+    (fun orient ->
+      let t = G.Transform.make ~orient (G.Point.make 5 5) in
+      check "area preserved" (G.Rect.area r) (G.Rect.area (G.Transform.apply_rect t r)))
+    all_orients
+
+let test_transform_polygon () =
+  let t = G.Transform.make ~orient:G.Transform.R90 (G.Point.make 0 0) in
+  let p = G.Transform.apply_polygon t lshape in
+  check "area preserved" (G.Polygon.area lshape) (G.Polygon.area p)
+
+(* ---- Spatial ---- *)
+
+let test_spatial_query () =
+  let idx = G.Spatial.create ~bucket:100 in
+  for i = 0 to 9 do
+    G.Spatial.insert idx (G.Rect.make ~lx:(i * 50) ~ly:0 ~hx:((i * 50) + 30) ~hy:30) i
+  done;
+  check "count" 10 (G.Spatial.length idx);
+  let hits = G.Spatial.query idx (G.Rect.make ~lx:0 ~ly:0 ~hx:120 ~hy:30) in
+  check "window hits" 3 (List.length hits);
+  let far = G.Spatial.query idx (G.Rect.make ~lx:1000 ~ly:1000 ~hx:1100 ~hy:1100) in
+  check "no hits far away" 0 (List.length far)
+
+let test_spatial_dedup () =
+  let idx = G.Spatial.create ~bucket:10 in
+  (* A rect spanning many buckets is reported once. *)
+  G.Spatial.insert idx (G.Rect.make ~lx:0 ~ly:0 ~hx:100 ~hy:100) "big";
+  let hits = G.Spatial.query idx (G.Rect.make ~lx:0 ~ly:0 ~hx:100 ~hy:100) in
+  check "reported once" 1 (List.length hits)
+
+let test_spatial_negative_coords () =
+  let idx = G.Spatial.create ~bucket:64 in
+  G.Spatial.insert idx (G.Rect.make ~lx:(-100) ~ly:(-100) ~hx:(-50) ~hy:(-50)) ();
+  check "negative found" 1
+    (List.length (G.Spatial.query idx (G.Rect.make ~lx:(-80) ~ly:(-80) ~hx:(-60) ~hy:(-60))))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_inclusion_exclusion; prop_diff_partition; prop_union_idempotent;
+      prop_to_rects_disjoint ]
+
+let () =
+  Alcotest.run "geometry"
+    [
+      ( "point",
+        [
+          Alcotest.test_case "arith" `Quick test_point_arith;
+          Alcotest.test_case "order" `Quick test_point_order;
+        ] );
+      ( "rect",
+        [
+          Alcotest.test_case "normalise" `Quick test_rect_normalise;
+          Alcotest.test_case "of_center" `Quick test_rect_of_center;
+          Alcotest.test_case "relations" `Quick test_rect_relations;
+          Alcotest.test_case "separation" `Quick test_rect_separation;
+          Alcotest.test_case "inflate" `Quick test_rect_inflate_clamp;
+        ] );
+      ( "edge",
+        [
+          Alcotest.test_case "basic" `Quick test_edge_basic;
+          Alcotest.test_case "split" `Quick test_edge_split;
+          Alcotest.test_case "shift" `Quick test_edge_shift;
+          Alcotest.test_case "invalid" `Quick test_edge_invalid;
+        ] );
+      ( "polygon",
+        [
+          Alcotest.test_case "area" `Quick test_polygon_area;
+          Alcotest.test_case "ccw" `Quick test_polygon_ccw;
+          Alcotest.test_case "collinear" `Quick test_polygon_collinear_removed;
+          Alcotest.test_case "contains" `Quick test_polygon_contains;
+          Alcotest.test_case "edges" `Quick test_polygon_edges;
+          Alcotest.test_case "is_rect" `Quick test_polygon_is_rect;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "union disjoint" `Quick test_region_union_disjoint;
+          Alcotest.test_case "union overlap" `Quick test_region_union_overlap;
+          Alcotest.test_case "of_polygon" `Quick test_region_of_polygon;
+          Alcotest.test_case "coalesce" `Quick test_region_coalesce;
+          Alcotest.test_case "canonical equal" `Quick test_region_equal_canonical;
+        ] );
+      ("region-properties", qsuite);
+      ( "transform",
+        [
+          Alcotest.test_case "invert" `Quick test_transform_invert;
+          Alcotest.test_case "compose" `Quick test_transform_compose;
+          Alcotest.test_case "rect area" `Quick test_transform_rect_area;
+          Alcotest.test_case "polygon" `Quick test_transform_polygon;
+        ] );
+      ( "spatial",
+        [
+          Alcotest.test_case "query" `Quick test_spatial_query;
+          Alcotest.test_case "dedup" `Quick test_spatial_dedup;
+          Alcotest.test_case "negative" `Quick test_spatial_negative_coords;
+        ] );
+    ]

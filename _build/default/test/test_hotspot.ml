@@ -1,0 +1,159 @@
+module G = Geometry
+
+let tech = Layout.Tech.node90
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checkf eps msg a b = Alcotest.(check (float eps)) msg a b
+
+(* A fixed synthetic "layout": two vertical lines and one L. *)
+let shapes =
+  [ G.Polygon.of_rect (G.Rect.make ~lx:0 ~ly:0 ~hx:90 ~hy:2000);
+    G.Polygon.of_rect (G.Rect.make ~lx:350 ~ly:0 ~hx:440 ~hy:2000);
+    G.Polygon.make
+      [ G.Point.make 1000 0; G.Point.make 1090 0; G.Point.make 1090 900;
+        G.Point.make 1500 900; G.Point.make 1500 1010; G.Point.make 1000 1010 ] ]
+
+let source window =
+  List.filter (fun p -> G.Rect.overlaps (G.Polygon.bbox p) window) shapes
+
+let clip p = Hotspot.Snippet.capture ~source ~radius:400 p
+
+(* ---- Snippet ---- *)
+
+let test_snippet_self_similarity () =
+  let s = clip (G.Point.make 45 1000) in
+  checkf 1e-9 "self" 1.0 (Hotspot.Snippet.similarity s s)
+
+let test_snippet_translation_invariance () =
+  (* Identical dense-pair geometry at two heights along the lines. *)
+  let a = clip (G.Point.make 220 800) in
+  let b = clip (G.Point.make 220 1200) in
+  checkb "same context similar" true (Hotspot.Snippet.similarity a b > 0.95)
+
+let test_snippet_different_contexts () =
+  let pair = clip (G.Point.make 220 1000) in
+  let corner = clip (G.Point.make 1090 950) in
+  checkb "different contexts dissimilar" true
+    (Hotspot.Snippet.similarity pair corner < 0.6)
+
+let test_snippet_density () =
+  let empty = clip (G.Point.make 5000 5000) in
+  checkf 1e-9 "empty density" 0.0 (Hotspot.Snippet.density empty);
+  let s = clip (G.Point.make 45 1000) in
+  checkb "density positive" true (Hotspot.Snippet.density s > 0.05)
+
+let test_snippet_radius_mismatch () =
+  let a = clip (G.Point.make 0 0) in
+  let b = Hotspot.Snippet.capture ~source ~radius:300 (G.Point.make 0 0) in
+  Alcotest.check_raises "radius mismatch"
+    (Invalid_argument "Snippet.similarity: radius mismatch") (fun () ->
+      ignore (Hotspot.Snippet.similarity a b))
+
+(* ---- Cluster ---- *)
+
+let test_cluster_groups_similar () =
+  let items =
+    [ (clip (G.Point.make 220 700), 3.0);
+      (clip (G.Point.make 220 1000), 5.0);
+      (clip (G.Point.make 220 1300), 2.0);
+      (clip (G.Point.make 1090 950), 9.0) ]
+  in
+  let clusters = Hotspot.Cluster.incremental ~threshold:0.8 items in
+  checki "two classes" 2 (List.length clusters);
+  checki "all members kept" 4 (Hotspot.Cluster.total_members clusters);
+  match Hotspot.Cluster.by_severity clusters with
+  | worst :: _ -> checkf 1e-9 "worst severity" 9.0 worst.Hotspot.Cluster.worst_severity
+  | [] -> Alcotest.fail "no clusters"
+
+let test_cluster_threshold_extremes () =
+  let items =
+    List.map (fun y -> (clip (G.Point.make 220 y), 1.0)) [ 600; 800; 1000; 1200 ]
+  in
+  (* Threshold 0: everything joins the first cluster. *)
+  checki "one cluster at 0" 1
+    (List.length (Hotspot.Cluster.incremental ~threshold:0.0 items));
+  Alcotest.check_raises "bad threshold"
+    (Invalid_argument "Cluster.incremental: threshold out of [0, 1]") (fun () ->
+      ignore (Hotspot.Cluster.incremental ~threshold:1.5 items))
+
+(* ---- Pattern ---- *)
+
+let test_pattern_signature_match () =
+  let a = Hotspot.Pattern.signature ~cells:16 (clip (G.Point.make 220 800)) in
+  let b = Hotspot.Pattern.signature ~cells:16 (clip (G.Point.make 220 1200)) in
+  checkb "same context matches" true (Hotspot.Pattern.matches ~tolerance:4 a b);
+  let c = Hotspot.Pattern.signature ~cells:16 (clip (G.Point.make 1090 950)) in
+  checkb "different context beyond tolerance" true (Hotspot.Pattern.distance a c > 8)
+
+let test_pattern_scan () =
+  let pattern = Hotspot.Pattern.signature ~cells:16 (clip (G.Point.make 220 1000)) in
+  let candidates =
+    [ G.Point.make 220 700; G.Point.make 220 1300; G.Point.make 1090 950;
+      G.Point.make 5000 5000 ]
+  in
+  let hits =
+    Hotspot.Pattern.scan ~source ~radius:400 ~cells:16 ~tolerance:4 pattern candidates
+  in
+  checki "two matching sites" 2 (List.length hits)
+
+let test_pattern_grid_mismatch () =
+  let a = Hotspot.Pattern.signature ~cells:16 (clip (G.Point.make 0 0)) in
+  let b = Hotspot.Pattern.signature ~cells:8 (clip (G.Point.make 0 0)) in
+  Alcotest.check_raises "grid mismatch"
+    (Invalid_argument "Pattern.distance: grid mismatch") (fun () ->
+      ignore (Hotspot.Pattern.distance a b))
+
+(* ---- Detect (integration with litho/ORC) ---- *)
+
+let test_detect_on_chip () =
+  let model = Litho.Aerial.calibrate (Litho.Model.create ()) tech in
+  let rng = Stats.Rng.create 31 in
+  let chip =
+    Layout.Placer.place tech
+      { Layout.Placer.default_config with Layout.Placer.row_width = 4000 }
+      rng
+      [ ("u0", "NOR2_X1"); ("u1", "INV_X1"); ("u2", "AOI21_X1") ]
+  in
+  let mask = Opc.Mask.of_polygons (Layout.Chip.flatten_layer chip Layout.Layer.Poly) in
+  let orc_config =
+    { (Opc.Orc.default_config tech) with
+      Opc.Orc.conditions = [ Litho.Condition.make ~dose:0.96 ~defocus:120.0 ];
+      epe_tolerance = 5.0 }
+  in
+  let hotspots = Hotspot.Detect.on_chip model orc_config chip ~mask in
+  checkb "uncorrected mask at bad condition has hotspots" true (hotspots <> []);
+  let pruned = Hotspot.Detect.prune ~radius:200 hotspots in
+  checkb "pruning reduces" true (List.length pruned <= List.length hotspots);
+  (* Pruned list keeps the single worst overall. *)
+  let worst l =
+    List.fold_left (fun acc (h : Hotspot.Detect.t) -> Float.max acc h.Hotspot.Detect.severity) 0.0 l
+  in
+  checkf 1e-9 "worst kept" (worst hotspots) (worst pruned)
+
+let () =
+  Alcotest.run "hotspot"
+    [
+      ( "snippet",
+        [
+          Alcotest.test_case "self" `Quick test_snippet_self_similarity;
+          Alcotest.test_case "translation" `Quick test_snippet_translation_invariance;
+          Alcotest.test_case "contexts" `Quick test_snippet_different_contexts;
+          Alcotest.test_case "density" `Quick test_snippet_density;
+          Alcotest.test_case "radius mismatch" `Quick test_snippet_radius_mismatch;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "groups" `Quick test_cluster_groups_similar;
+          Alcotest.test_case "thresholds" `Quick test_cluster_threshold_extremes;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "signature" `Quick test_pattern_signature_match;
+          Alcotest.test_case "scan" `Quick test_pattern_scan;
+          Alcotest.test_case "grid mismatch" `Quick test_pattern_grid_mismatch;
+        ] );
+      ("detect", [ Alcotest.test_case "on chip" `Slow test_detect_on_chip ]);
+    ]

@@ -1,0 +1,212 @@
+(* Second-pass coverage: edge cases and smaller API surfaces that the
+   per-module suites don't exercise. *)
+
+module G = Geometry
+
+let tech = Layout.Tech.node90
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checkf eps msg a b = Alcotest.(check (float eps)) msg a b
+
+(* ---- Region odds and ends ---- *)
+
+let test_region_empty_ops () =
+  let e = G.Region.empty in
+  let r = G.Region.of_rect (G.Rect.make ~lx:0 ~ly:0 ~hx:10 ~hy:10) in
+  checkb "empty is empty" true (G.Region.is_empty e);
+  checki "union with empty" 100 (G.Region.area (G.Region.union e r));
+  checki "inter with empty" 0 (G.Region.area (G.Region.inter e r));
+  checkb "bbox of empty" true (G.Region.bbox e = None);
+  checkb "xor self empty" true (G.Region.is_empty (G.Region.xor r r))
+
+let test_region_translate_contains () =
+  let r = G.Region.of_rect (G.Rect.make ~lx:0 ~ly:0 ~hx:10 ~hy:10) in
+  let t = G.Region.translate r (G.Point.make 100 50) in
+  checkb "translated contains" true (G.Region.contains_point t (G.Point.make 105 55));
+  checkb "original spot vacated" true (not (G.Region.contains_point t (G.Point.make 5 5)));
+  checki "area preserved" (G.Region.area r) (G.Region.area t)
+
+let test_region_of_rects_degenerate () =
+  (* Empty rectangles are dropped. *)
+  let r = G.Region.of_rects [ G.Rect.make ~lx:5 ~ly:5 ~hx:5 ~hy:50 ] in
+  checkb "degenerate dropped" true (G.Region.is_empty r)
+
+(* ---- Polygon rebuild ---- *)
+
+let test_polygon_rebuild_ring () =
+  (* A ring with collinear runs and clockwise winding still normalises. *)
+  let ring =
+    [ G.Point.make 0 0; G.Point.make 0 5; G.Point.make 0 10; G.Point.make 10 10;
+      G.Point.make 10 0; G.Point.make 5 0 ]
+  in
+  let p = G.Polygon.rebuild_ring ring in
+  checki "area" 100 (G.Polygon.area p);
+  checki "vertices" 4 (G.Polygon.num_vertices p)
+
+(* ---- DRC enclosure ---- *)
+
+let test_drc_enclosure () =
+  let active = [ G.Polygon.of_rect (G.Rect.make ~lx:0 ~ly:0 ~hx:400 ~hy:400) ] in
+  let good = [ G.Polygon.of_rect (G.Rect.make ~lx:100 ~ly:100 ~hx:220 ~hy:220) ] in
+  let bad = [ G.Polygon.of_rect (G.Rect.make ~lx:0 ~ly:100 ~hx:120 ~hy:220) ] in
+  checki "enclosed contact passes" 0
+    (List.length
+       (Layout.Drc.check_enclosure tech ~contacts:good ~by:Layout.Layer.Active
+          ~enclosing:active));
+  checki "edge contact flagged" 1
+    (List.length
+       (Layout.Drc.check_enclosure tech ~contacts:bad ~by:Layout.Layer.Active
+          ~enclosing:active))
+
+(* ---- Chip lookups ---- *)
+
+let test_chip_lookups () =
+  let chip = Layout.Chip.create tech in
+  checkb "empty die" true (Layout.Chip.die chip = None);
+  Layout.Chip.add chip ~iname:"u1" ~cell:(Layout.Stdcell.find tech "NAND2_X1")
+    G.Transform.identity;
+  checkb "find hit" true (Layout.Chip.find_instance chip "u1" <> None);
+  checkb "find miss" true (Layout.Chip.find_instance chip "zz" = None);
+  match Layout.Chip.gates chip with
+  | g :: _ ->
+      checkb "gate key format" true
+        (String.length (Layout.Chip.gate_key g) > 3
+        && String.contains (Layout.Chip.gate_key g) '/')
+  | [] -> Alcotest.fail "no gates"
+
+(* ---- Rule OPC line ends ---- *)
+
+let test_rule_opc_line_end_bias () =
+  let recipe = Opc.Rule_opc.default_recipe tech in
+  let line = G.Polygon.of_rect (G.Rect.make ~lx:0 ~ly:0 ~hx:90 ~hy:1000) in
+  let mask = Opc.Rule_opc.correct recipe ~neighbours:(fun _ -> [ line ]) [ line ] in
+  match Opc.Mask.polygons mask with
+  | [ p ] ->
+      let bb = G.Polygon.bbox p in
+      (* Line ends get the big line-end bias; sides only the iso bias. *)
+      checkb "caps extended more than sides" true
+        (G.Rect.height bb - 1000 > G.Rect.width bb - 90)
+  | _ -> Alcotest.fail "one polygon expected"
+
+(* ---- Metrology vertical ---- *)
+
+let test_cd_vertical () =
+  let r = Litho.Raster.create ~origin:G.Point.origin ~step:5.0 ~nx:40 ~ny:40 in
+  (* Horizontal bar: rows 10..19 set. *)
+  for iy = 10 to 19 do
+    for ix = 0 to 39 do
+      Litho.Raster.set r ix iy 1.0
+    done
+  done;
+  match Litho.Metrology.cd_vertical r ~threshold:0.5 ~x:100.0 ~y_center:75.0 ~search:100.0 with
+  | Some cd -> checkb "vertical CD near 50" true (Float.abs (cd -. 50.0) < 6.0)
+  | None -> Alcotest.fail "bar not found"
+
+(* ---- Netlist helpers ---- *)
+
+let test_cell_histogram () =
+  let n = Circuit.Generator.c17 () in
+  Alcotest.(check (list (pair string int))) "all nand2" [ ("NAND2_X1", 6) ]
+    (Circuit.Netlist.cell_histogram n)
+
+let test_parallel_chains_structure () =
+  let n = Circuit.Generator.parallel_chains (Stats.Rng.create 3) ~chains:5 ~depth:8 in
+  checki "five endpoints" 5 (List.length n.Circuit.Netlist.primary_outputs);
+  checki "five inputs" 5 (List.length n.Circuit.Netlist.primary_inputs);
+  checki "gates" 40 (Circuit.Netlist.num_gates n);
+  (* Same multiset of cells in every chain. *)
+  let hist = Circuit.Netlist.cell_histogram n in
+  List.iter (fun (_, count) -> checkb "divisible by chains" true (count mod 5 = 0)) hist
+
+(* ---- Condition / PV band guards ---- *)
+
+let test_condition_singleton_grid () =
+  let g =
+    Litho.Condition.grid ~dose_range:(0.9, 1.1) ~dose_steps:1 ~defocus_range:(0.0, 100.0)
+      ~defocus_steps:1
+  in
+  checki "one condition" 1 (List.length g);
+  (match g with
+  | [ c ] -> checkf 1e-9 "midpoint dose" 1.0 c.Litho.Condition.dose
+  | _ -> Alcotest.fail "expected singleton")
+
+let test_pvband_ratio_guard () =
+  let pv =
+    { Litho.Pvband.inner_area = 10.0; outer_area = 20.0; band_area = 10.0; conditions = 2 }
+  in
+  checkf 1e-9 "ratio" 0.5 (Litho.Pvband.band_ratio pv ~drawn_area:20.0);
+  Alcotest.check_raises "zero drawn area"
+    (Invalid_argument "Pvband.band_ratio: empty drawn area") (fun () ->
+      ignore (Litho.Pvband.band_ratio pv ~drawn_area:0.0))
+
+(* ---- Sequential edge ---- *)
+
+let test_pipeline_width_one () =
+  let d = Sta.Sequential.pipeline (Stats.Rng.create 1) ~stages:2 ~width:1 in
+  checki "one register" 1 (List.length d.Sta.Sequential.regs);
+  let env = Circuit.Delay_model.default_env tech in
+  let loads = Circuit.Loads.of_netlist env d.Sta.Sequential.netlist in
+  let delay = Sta.Timing.model_delay env ~lengths_of:(fun _ -> None) in
+  let t = Sta.Sequential.analyze d ~loads ~delay ~clock_period:200.0 in
+  checkb "analyzes" true (t.Sta.Sequential.wns < 200.0)
+
+(* ---- Flow placement determinism ---- *)
+
+let test_flow_place_deterministic () =
+  let config = Timing_opc.Flow.default_config () in
+  let n = Circuit.Generator.c17 () in
+  let names chip =
+    List.map (fun (i : Layout.Chip.instance) -> i.Layout.Chip.iname)
+      (Layout.Chip.instances chip)
+  in
+  checkb "same placement twice" true
+    (names (Timing_opc.Flow.place config n) = names (Timing_opc.Flow.place config n))
+
+(* ---- Stats extras ---- *)
+
+let test_summary_list_vs_array () =
+  let xs = [ 3.0; 1.0; 2.0 ] in
+  let a = Stats.Summary.of_list xs and b = Stats.Summary.of_array (Array.of_list xs) in
+  checkf 1e-9 "same mean" a.Stats.Summary.mean b.Stats.Summary.mean;
+  checkf 1e-9 "same median" a.Stats.Summary.median b.Stats.Summary.median
+
+let test_histogram_add_all () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  Stats.Histogram.add_all h [| 1.0; 2.0; 3.0; 9.0 |];
+  checki "count" 4 (Stats.Histogram.count h)
+
+let () =
+  Alcotest.run "more"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "empty ops" `Quick test_region_empty_ops;
+          Alcotest.test_case "translate" `Quick test_region_translate_contains;
+          Alcotest.test_case "degenerate" `Quick test_region_of_rects_degenerate;
+        ] );
+      ("polygon", [ Alcotest.test_case "rebuild" `Quick test_polygon_rebuild_ring ]);
+      ("drc", [ Alcotest.test_case "enclosure" `Quick test_drc_enclosure ]);
+      ("chip", [ Alcotest.test_case "lookups" `Quick test_chip_lookups ]);
+      ("rule-opc", [ Alcotest.test_case "line ends" `Quick test_rule_opc_line_end_bias ]);
+      ("metrology", [ Alcotest.test_case "vertical" `Quick test_cd_vertical ]);
+      ( "netlist",
+        [
+          Alcotest.test_case "histogram" `Quick test_cell_histogram;
+          Alcotest.test_case "chains" `Quick test_parallel_chains_structure;
+        ] );
+      ( "litho-misc",
+        [
+          Alcotest.test_case "singleton grid" `Quick test_condition_singleton_grid;
+          Alcotest.test_case "pvband ratio" `Quick test_pvband_ratio_guard;
+        ] );
+      ("sequential", [ Alcotest.test_case "width one" `Quick test_pipeline_width_one ]);
+      ("flow", [ Alcotest.test_case "placement" `Quick test_flow_place_deterministic ]);
+      ( "stats-misc",
+        [
+          Alcotest.test_case "list vs array" `Quick test_summary_list_vs_array;
+          Alcotest.test_case "add_all" `Quick test_histogram_add_all;
+        ] );
+    ]

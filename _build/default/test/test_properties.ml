@@ -1,0 +1,153 @@
+(* Cross-module property tests: invariants that tie the geometry,
+   litho, device and timing layers together. *)
+
+module G = Geometry
+
+let tech = Layout.Tech.node90
+
+(* Random staircase (rectilinear, simple) polygons: built from a
+   monotone staircase so they are always valid. *)
+let staircase_gen =
+  QCheck.Gen.(
+    let* steps = int_range 1 6 in
+    let* widths = list_repeat steps (int_range 10 120) in
+    let* heights = list_repeat steps (int_range 10 120) in
+    (* Ring: staircase along the bottom-right —
+       (0,0) (x1,0) (x1,y1) (x2,y1) ... (xn,yn) — closed by the top-left
+       corner (0,yn); always a simple rectilinear polygon. *)
+    let rec walk x y ws hs acc =
+      match (ws, hs) with
+      | w :: ws', h :: hs' ->
+          let x' = x + w in
+          let y' = y + h in
+          walk x' y' ws' hs' (G.Point.make x' y' :: G.Point.make x' y :: acc)
+      | _, _ -> (List.rev acc, y)
+    in
+    let stairs, top = walk 0 0 widths heights [ G.Point.make 0 0 ] in
+    return (G.Polygon.make (stairs @ [ G.Point.make 0 top ])))
+
+let arb_staircase = QCheck.make ~print:(fun p -> Format.asprintf "%a" G.Polygon.pp p) staircase_gen
+
+let prop_polygon_region_area_agree =
+  QCheck.Test.make ~name:"polygon area = region area" ~count:300 arb_staircase
+    (fun p -> G.Polygon.area p = G.Region.area (G.Region.of_polygon p))
+
+let all_orients : G.Transform.orientation list =
+  [ G.Transform.R0; R90; R180; R270; MX; MY; MXR90; MYR90 ]
+
+let prop_transform_preserves_area =
+  QCheck.Test.make ~name:"transform preserves polygon area" ~count:200
+    (QCheck.pair arb_staircase (QCheck.int_range 0 7))
+    (fun (p, oi) ->
+      let t = G.Transform.make ~orient:(List.nth all_orients oi) (G.Point.make 17 (-9)) in
+      G.Polygon.area (G.Transform.apply_polygon t p) = G.Polygon.area p)
+
+let prop_region_inflate_grows =
+  QCheck.Test.make ~name:"region inflate grows area" ~count:200 arb_staircase
+    (fun p ->
+      let r = G.Region.of_polygon p in
+      G.Region.area (G.Region.inflate r 5) >= G.Region.area r)
+
+let arb_edge =
+  QCheck.make
+    (QCheck.Gen.(
+       let* x = int_range (-200) 200 in
+       let* y = int_range (-200) 200 in
+       let* len = int_range 1 500 in
+       let* horiz = bool in
+       return
+         (if horiz then G.Edge.make (G.Point.make x y) (G.Point.make (x + len) y)
+          else G.Edge.make (G.Point.make x y) (G.Point.make x (y + len)))))
+
+let prop_edge_split_sums =
+  QCheck.Test.make ~name:"edge split lengths sum" ~count:300
+    (QCheck.pair arb_edge (QCheck.int_range 1 100))
+    (fun (e, max_len) ->
+      let parts = G.Edge.split e ~max_len in
+      List.fold_left (fun acc f -> acc + G.Edge.length f) 0 parts = G.Edge.length e
+      && List.for_all (fun f -> G.Edge.length f <= max_len) parts)
+
+let env = Circuit.Delay_model.default_env tech
+
+let prop_nldm_lookup_bounded =
+  let inv = Circuit.Cell_lib.find "INV_X1" in
+  let table = Circuit.Nldm.characterize env inv () in
+  QCheck.Test.make ~name:"nldm lookup within table range" ~count:300
+    (QCheck.pair (QCheck.float_range 0.0 500.0) (QCheck.float_range 0.0 150.0))
+    (fun (slew_in, c_load) ->
+      let r = Circuit.Nldm.lookup table ~slew_in ~c_load in
+      let tbl = table.Circuit.Nldm.tbl in
+      let flat = Array.to_list tbl.Circuit.Nldm.delay |> List.concat_map Array.to_list in
+      let lo = List.fold_left Float.min infinity flat in
+      let hi = List.fold_left Float.max neg_infinity flat in
+      r.Circuit.Delay_model.delay >= lo -. 1e-9 && r.Circuit.Delay_model.delay <= hi +. 1e-9)
+
+let prop_delay_monotone_in_length =
+  QCheck.Test.make ~name:"gate delay monotone in channel length" ~count:200
+    (QCheck.pair (QCheck.float_range 60.0 140.0) (QCheck.float_range 1.0 20.0))
+    (fun (l, dl) ->
+      let cell = Circuit.Cell_lib.find "NAND2_X1" in
+      let d l =
+        (Circuit.Delay_model.gate_delay env cell
+           ~lengths:{ Circuit.Delay_model.l_n = l; l_p = l }
+           ~slew_in:20.0 ~c_load:5.0)
+          .Circuit.Delay_model.delay
+      in
+      d (l +. dl) > d l)
+
+let prop_ioff_monotone_decreasing =
+  QCheck.Test.make ~name:"ioff monotone decreasing in L" ~count:200
+    (QCheck.pair (QCheck.float_range 40.0 200.0) (QCheck.float_range 0.5 30.0))
+    (fun (l, dl) ->
+      Device.Mosfet.ioff Device.Mosfet.nmos_90 ~w:600.0 ~l
+      > Device.Mosfet.ioff Device.Mosfet.nmos_90 ~w:600.0 ~l:(l +. dl))
+
+let prop_snippet_similarity_bounds =
+  let shapes =
+    [ G.Polygon.of_rect (G.Rect.make ~lx:0 ~ly:0 ~hx:90 ~hy:1000);
+      G.Polygon.of_rect (G.Rect.make ~lx:350 ~ly:200 ~hx:440 ~hy:800) ]
+  in
+  let source w = List.filter (fun p -> G.Rect.overlaps (G.Polygon.bbox p) w) shapes in
+  QCheck.Test.make ~name:"snippet similarity in [0,1] and symmetric" ~count:100
+    (QCheck.pair (QCheck.int_range (-200) 600) (QCheck.int_range (-200) 1200))
+    (fun (x, y) ->
+      let a = Hotspot.Snippet.capture ~source ~radius:300 (G.Point.make x y) in
+      let b = Hotspot.Snippet.capture ~source ~radius:300 (G.Point.make (x + 40) y) in
+      let s1 = Hotspot.Snippet.similarity a b and s2 = Hotspot.Snippet.similarity b a in
+      s1 >= 0.0 && s1 <= 1.0 && Float.abs (s1 -. s2) < 1e-9)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng int within bound" ~count:200
+    (QCheck.pair QCheck.small_int QCheck.(int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Stats.Rng.create seed in
+      let v = Stats.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_leff_between_bounds_both_kinds =
+  QCheck.Test.make ~name:"leff for pmos also bounded" ~count:150
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (float_range 65.0 120.0))
+    (fun cds ->
+      QCheck.assume (cds <> []);
+      let p = Device.Gate_profile.of_cds ~w:900.0 cds in
+      let r = Device.Leff.reduce Device.Mosfet.pmos_90 p in
+      let lo = List.fold_left Float.min infinity cds in
+      let hi = List.fold_left Float.max neg_infinity cds in
+      r.Device.Leff.l_on >= lo -. 0.5 && r.Device.Leff.l_on <= hi +. 0.5)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "cross-module",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_polygon_region_area_agree;
+            prop_transform_preserves_area;
+            prop_region_inflate_grows;
+            prop_edge_split_sums;
+            prop_nldm_lookup_bounded;
+            prop_delay_monotone_in_length;
+            prop_ioff_monotone_decreasing;
+            prop_snippet_similarity_bounds;
+            prop_rng_int_bounds;
+            prop_leff_between_bounds_both_kinds ] );
+    ]

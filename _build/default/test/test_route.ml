@@ -1,0 +1,152 @@
+module G = Geometry
+
+let tech = Layout.Tech.node90
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let flow_config = Timing_opc.Flow.default_config ()
+
+let placed_design netlist =
+  let chip = Timing_opc.Flow.place flow_config netlist in
+  let die = match Layout.Chip.die chip with Some d -> d | None -> assert false in
+  (chip, die)
+
+(* ---- pins ---- *)
+
+let test_pins_cover_netlist () =
+  let netlist = Circuit.Generator.c17 () in
+  let chip, _ = placed_design netlist in
+  let pins = Route.Channel.pins_of_chip chip netlist in
+  (* Every gate contributes one pin per input plus one output pin;
+     plus one pin per PI and PO. *)
+  let expected =
+    Array.fold_left
+      (fun acc (g : Circuit.Netlist.gate) -> acc + List.length g.Circuit.Netlist.inputs + 1)
+      0 netlist.Circuit.Netlist.gates
+    + List.length netlist.Circuit.Netlist.primary_inputs
+    + List.length netlist.Circuit.Netlist.primary_outputs
+  in
+  checki "pin count" expected (List.length pins)
+
+let test_pins_inside_die () =
+  let netlist = Circuit.Generator.ripple_adder ~bits:4 in
+  let chip, die = placed_design netlist in
+  let pins = Route.Channel.pins_of_chip chip netlist in
+  List.iter
+    (fun (p : Route.Channel.pin) ->
+      checkb "pin within die" true (G.Rect.contains_point die p.Route.Channel.at))
+    pins
+
+(* ---- routing ---- *)
+
+let route_design netlist =
+  let chip, die = placed_design netlist in
+  let pins = Route.Channel.pins_of_chip chip netlist in
+  (chip, Route.Channel.route tech ~die pins)
+
+let test_route_covers_all_nets () =
+  let netlist = Circuit.Generator.c17 () in
+  let _, result = route_design netlist in
+  (* Every net with >= 2 pins must have nonzero length; in c17 every
+     net is either a PI (driven externally, sinks inside) or a gate
+     output with fanout or a PO — all multi-pin. *)
+  Array.iter
+    (fun (g : Circuit.Netlist.gate) ->
+      checkb "output net routed" true
+        (Route.Channel.length_of result g.Circuit.Netlist.output > 0))
+    netlist.Circuit.Netlist.gates
+
+let test_route_trunks_disjoint_per_layer () =
+  let netlist = Circuit.Generator.ripple_adder ~bits:6 in
+  let _, result = route_design netlist in
+  let m2 =
+    List.filter
+      (fun (s : Route.Channel.segment) -> s.Route.Channel.layer = Layout.Layer.Metal2)
+      result.Route.Channel.segments
+  in
+  (* Metal-2 trunks of different nets never overlap. *)
+  let rec pairs = function
+    | [] -> ()
+    | (s : Route.Channel.segment) :: rest ->
+        List.iter
+          (fun (t : Route.Channel.segment) ->
+            if s.Route.Channel.seg_net <> t.Route.Channel.seg_net then
+              checkb "trunks disjoint" false
+                (G.Rect.overlaps s.Route.Channel.rect t.Route.Channel.rect))
+          rest;
+        pairs rest
+  in
+  pairs m2;
+  checkb "some trunks" true (m2 <> [])
+
+let test_route_wirelength_sane () =
+  let netlist = Circuit.Generator.ripple_adder ~bits:6 in
+  let chip, result = route_design netlist in
+  let die = match Layout.Chip.die chip with Some d -> d | None -> assert false in
+  let diameter = G.Rect.width die + G.Rect.height die in
+  List.iter
+    (fun (net, len) ->
+      checkb (Printf.sprintf "net %d length positive" net) true (len > 0);
+      checkb "length below 4x die diameter" true (len < 4 * diameter))
+    result.Route.Channel.wirelength
+
+let test_route_deterministic () =
+  let netlist = Circuit.Generator.c17 () in
+  let _, r1 = route_design netlist in
+  let _, r2 = route_design netlist in
+  checki "same segment count"
+    (List.length r1.Route.Channel.segments)
+    (List.length r2.Route.Channel.segments);
+  checkb "same wirelength" true
+    (List.sort compare r1.Route.Channel.wirelength
+    = List.sort compare r2.Route.Channel.wirelength)
+
+(* ---- loads + timing ---- *)
+
+let test_routed_loads_exceed_pin_caps () =
+  let netlist = Circuit.Generator.ripple_adder ~bits:4 in
+  let _, result = route_design netlist in
+  let env = Circuit.Delay_model.default_env tech in
+  let pin_only = Route.Channel.loads env netlist result ~cap_per_um:0.0 in
+  let with_wire = Route.Channel.loads env netlist result ~cap_per_um:0.2 in
+  Array.iter
+    (fun (g : Circuit.Netlist.gate) ->
+      let n = g.Circuit.Netlist.output in
+      checkb "wire cap adds" true (with_wire n > pin_only n))
+    netlist.Circuit.Netlist.gates
+
+let test_routed_timing_slower () =
+  (* Physical wire loads slow the design relative to zero-wire loads. *)
+  let netlist = Circuit.Generator.ripple_adder ~bits:4 in
+  let _, result = route_design netlist in
+  let env = Circuit.Delay_model.default_env tech in
+  let delay = Sta.Timing.model_delay env ~lengths_of:(fun _ -> None) in
+  let analyze loads = Sta.Timing.analyze netlist ~loads ~delay ~clock_period:1000.0 () in
+  let bare = analyze (Route.Channel.loads env netlist result ~cap_per_um:0.0) in
+  let wired = analyze (Route.Channel.loads env netlist result ~cap_per_um:0.25) in
+  checkb "wires slow the critical path" true
+    (Sta.Timing.critical_delay wired > Sta.Timing.critical_delay bare)
+
+let () =
+  Alcotest.run "route"
+    [
+      ( "pins",
+        [
+          Alcotest.test_case "cover netlist" `Quick test_pins_cover_netlist;
+          Alcotest.test_case "inside die" `Quick test_pins_inside_die;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "covers nets" `Quick test_route_covers_all_nets;
+          Alcotest.test_case "trunks disjoint" `Quick test_route_trunks_disjoint_per_layer;
+          Alcotest.test_case "wirelength" `Quick test_route_wirelength_sane;
+          Alcotest.test_case "deterministic" `Quick test_route_deterministic;
+        ] );
+      ( "loads",
+        [
+          Alcotest.test_case "wire cap" `Quick test_routed_loads_exceed_pin_caps;
+          Alcotest.test_case "timing" `Quick test_routed_timing_slower;
+        ] );
+    ]
