@@ -8,9 +8,19 @@ let tech = Layout.Tech.node90
 
 let quick = ref false
 
+(* Worker domains from POTX_DOMAINS (default sequential).  Every
+   engine below guarantees bit-identical results for any value, so the
+   experiment tables never depend on this. *)
+let domains = Exec.Pool.env_domains ~default:1 ()
+
+let shared_pool =
+  lazy (if domains > 1 then Some (Exec.Pool.create ~name:"bench" ~domains ()) else None)
+
+let pool () = Lazy.force shared_pool
+
 let config () =
   let c = Timing_opc.Flow.default_config () in
-  let c = { c with Timing_opc.Flow.seed } in
+  let c = { c with Timing_opc.Flow.seed; domains } in
   if !quick then
     { c with
       Timing_opc.Flow.opc_config =
@@ -84,7 +94,7 @@ let mask_for chip ~style_name =
 let extract chip mask condition =
   let m = litho_model () in
   let c = config () in
-  Cdex.Extract.extract m condition ~mask:(Opc.Mask.source mask)
+  Cdex.Extract.extract ?pool:(pool ()) m condition ~mask:(Opc.Mask.source mask)
     ~gates:(Layout.Chip.gates chip) ~slices:c.Timing_opc.Flow.slices
     ~tile:c.Timing_opc.Flow.tile ()
 

@@ -17,7 +17,7 @@ let run () =
     List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals)
   in
   let mc =
-    Sta.Montecarlo.run env netlist ~loads
+    Sta.Montecarlo.run ?pool:(Common.pool ()) env netlist ~loads
       {
         Sta.Montecarlo.trials = (if !Common.quick then 60 else 300);
         sigma_global = 3.0;

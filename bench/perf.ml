@@ -69,6 +69,104 @@ let () =
     (fun i -> Bechamel_notty.Unit.add i (Measure.unit i))
     Instance.[ minor_allocated; major_allocated; monotonic_clock ]
 
+(* ---- multicore aerial-image workload + machine-readable record ----
+
+   A fixed grid of tile windows simulated via [Aerial.simulate_tiles],
+   once sequentially and once on a domain pool.  The rasters must be
+   bit-identical (the Exec.Pool contract); the wall-clock pair is the
+   speedup record tracked in BENCH_perf.json from PR 1 onward. *)
+
+type perf_record = {
+  workload : string;
+  domains_used : int;
+  tasks : int;
+  wall_s : float;
+  speedup_vs_1 : float option;
+  identical : bool option;
+}
+
+let rasters_identical a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun ra rb ->
+         Litho.Raster.unsafe_data ra = Litho.Raster.unsafe_data rb)
+       a b
+
+let aerial_tiles_workload () =
+  let m = Lazy.force model in
+  let chip = Lazy.force small_chip in
+  let tile = 2000 in
+  let windows =
+    List.init 16 (fun i ->
+        let x = i mod 4 * tile and y = i / 4 * tile in
+        G.Rect.make ~lx:x ~ly:y ~hx:(x + tile) ~hy:(y + tile))
+  in
+  let source w = Layout.Chip.shapes_in chip Layout.Layer.Poly w in
+  ignore (source (G.Rect.make ~lx:0 ~ly:0 ~hx:1 ~hy:1));
+  let simulate pool =
+    Litho.Aerial.simulate_tiles ?pool m Litho.Condition.nominal ~windows source
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let name = Printf.sprintf "aerial_tiles_%dx%dum" (List.length windows) (tile / 1000) in
+  let seq, t_seq = time (fun () -> simulate None) in
+  let base =
+    { workload = name; domains_used = 1; tasks = List.length windows; wall_s = t_seq;
+      speedup_vs_1 = None; identical = None }
+  in
+  let domains = Exec.Pool.env_domains ~default:(Exec.Pool.recommended ()) () in
+  if domains <= 1 then [ base ]
+  else
+    let par, t_par =
+      Exec.Pool.with_pool ~name:"perf" ~domains (fun p ->
+          time (fun () -> simulate (Some p)))
+    in
+    [ base;
+      { workload = name; domains_used = domains; tasks = List.length windows;
+        wall_s = t_par; speedup_vs_1 = Some (t_seq /. t_par);
+        identical = Some (rasters_identical seq par) } ]
+
+let json_of_records oc records =
+  let field_opt fmt = function None -> "" | Some v -> Printf.sprintf fmt v in
+  Printf.fprintf oc "{\n  \"bench\": \"perf\",\n  \"host_cores\": %d,\n  \"experiments\": [\n"
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": \"%s\", \"domains\": %d, \"tasks\": %d, \"wall_s\": %.6f%s%s}%s\n"
+        r.workload r.domains_used r.tasks r.wall_s
+        (field_opt ", \"speedup_vs_1\": %.3f" r.speedup_vs_1)
+        (field_opt ", \"identical\": %b" r.identical)
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  Printf.fprintf oc "  ]\n}\n"
+
+let run_parallel_workloads () =
+  Format.printf "@.######## PERF: multicore aerial-image workload ########@.";
+  let records = aerial_tiles_workload () in
+  List.iter
+    (fun r ->
+      Format.printf "%-20s domains=%d tasks=%d wall=%.3fs%s%s@." r.workload
+        r.domains_used r.tasks r.wall_s
+        (match r.speedup_vs_1 with
+        | None -> ""
+        | Some s -> Printf.sprintf " speedup=%.2fx" s)
+        (match r.identical with
+        | None -> ""
+        | Some true -> " (bit-identical to sequential)"
+        | Some false -> " (MISMATCH vs sequential!)"))
+    records;
+  (match List.filter_map (fun r -> r.identical) records with
+  | [] -> ()
+  | flags -> assert (List.for_all Fun.id flags));
+  let oc = open_out "BENCH_perf.json" in
+  json_of_records oc records;
+  close_out oc;
+  Format.printf "wrote BENCH_perf.json@."
+
 let run () =
   Format.printf "@.######## PERF: engine micro-benchmarks (bechamel) ########@.";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -83,4 +181,5 @@ let run () =
       results
   in
   Notty_unix.output_image image;
-  print_newline ()
+  print_newline ();
+  run_parallel_workloads ()

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 gate for this repo: build, full test suite, then a 2-domain
+# smoke run of the smallest bench workload to catch multicore
+# regressions (hangs, non-determinism) that unit tests can miss.
+# Future PRs invoke this before merging.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== 2-domain smoke (quick t3) =="
+POTX_DOMAINS=2 dune exec bench/main.exe -- --quick t3
+
+echo "check.sh: OK"

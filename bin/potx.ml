@@ -17,9 +17,15 @@ let netlist_of_name seed name =
   | None -> failwith (Printf.sprintf "unknown benchmark %s (have: %s)" name
                         (String.concat ", " bench_names))
 
+(* Worker-domain count: the --domains flag when positive, else the
+   POTX_DOMAINS environment variable, else 1 (sequential).  Results
+   are bit-identical for any value (see Exec.Pool). *)
+let resolve_domains flag =
+  if flag > 0 then flag else Exec.Pool.env_domains ~default:1 ()
+
 (* ---- run ---- *)
 
-let run_flow bench opc seed dose defocus spread report =
+let run_flow bench opc seed dose defocus spread report domains =
   let base = Timing_opc.Flow.default_config () in
   let opc_style =
     match opc with
@@ -28,15 +34,17 @@ let run_flow bench opc seed dose defocus spread report =
     | "model" -> Timing_opc.Flow.Model_opc
     | s -> failwith ("unknown OPC style " ^ s)
   in
+  let domains = resolve_domains domains in
   let config =
     { base with
       Timing_opc.Flow.seed;
       opc_style;
-      condition = Litho.Condition.make ~dose ~defocus }
+      condition = Litho.Condition.make ~dose ~defocus;
+      domains }
   in
   let netlist = netlist_of_name seed bench in
-  Format.printf "flow: %s, OPC=%s, silicon %a, seed %d@." bench opc
-    Litho.Condition.pp config.Timing_opc.Flow.condition seed;
+  Format.printf "flow: %s, OPC=%s, silicon %a, seed %d, domains %d@." bench opc
+    Litho.Condition.pp config.Timing_opc.Flow.condition seed domains;
   let r = Timing_opc.Flow.run config netlist in
   Format.printf "%a@." Layout.Chip.pp r.Timing_opc.Flow.chip;
   Format.printf "%a@." Opc.Model_opc.pp_stats r.Timing_opc.Flow.opc_stats;
@@ -84,12 +92,21 @@ let spread_arg =
 let report_arg =
   Arg.(value & opt int 0 & info [ "report" ] ~doc:"Print the top-N critical paths.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ]
+        ~doc:
+          "Worker domains for the extraction hot path (0 = take \
+           $(b,POTX_DOMAINS) from the environment, else 1).  Results are \
+           bit-identical for any value.")
+
 let run_cmd =
   let doc = "run the full post-OPC extraction timing flow on a benchmark" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_flow $ bench_arg $ opc_arg $ seed_arg $ dose_arg $ defocus_arg
-      $ spread_arg $ report_arg)
+      $ spread_arg $ report_arg $ domains_arg)
 
 (* ---- cells ---- *)
 
@@ -176,8 +193,12 @@ let export_cmd =
 
 (* ---- cds ---- *)
 
-let export_cds bench seed path =
-  let config = { (Timing_opc.Flow.default_config ()) with Timing_opc.Flow.seed } in
+let export_cds bench seed path domains =
+  let config =
+    { (Timing_opc.Flow.default_config ()) with
+      Timing_opc.Flow.seed;
+      domains = resolve_domains domains }
+  in
   let r = Timing_opc.Flow.run config (netlist_of_name seed bench) in
   Cdex.Csv.save_file path r.Timing_opc.Flow.cds;
   Format.printf "wrote %s (%d gate-CD records)@." path (List.length r.Timing_opc.Flow.cds)
@@ -186,7 +207,7 @@ let cds_cmd =
   let out = Arg.(value & opt string "gates.csv" & info [ "o"; "out" ] ~doc:"Output path.") in
   Cmd.v
     (Cmd.info "cds" ~doc:"run the flow and export the extracted gate CDs as CSV")
-    Term.(const export_cds $ bench_arg $ seed_arg $ out)
+    Term.(const export_cds $ bench_arg $ seed_arg $ out $ domains_arg)
 
 let () =
   let doc = "post-OPC critical-dimension extraction for advanced timing analysis" in

@@ -35,28 +35,43 @@ let measure_gate intensity ~threshold ~slices ~search (g : Layout.Chip.gate_ref)
   in
   (cds, List.length cds = slices)
 
-let extract model condition ~mask ~gates ?(slices = 7) ?(tile = 6000) ?(search = 220.0) () =
+let extract ?pool model condition ~mask ~gates ?(slices = 7) ?(tile = 6000) ?(search = 220.0) () =
   let halo = model.Litho.Model.halo in
   let threshold = Litho.Model.printed_threshold model condition in
   let buckets = bucket_gates ~tile gates in
-  List.concat_map
-    (fun bucket ->
-      let window =
-        G.Rect.inflate
-          (G.Rect.hull_of_list (List.map (fun (g : Layout.Chip.gate_ref) -> g.Layout.Chip.gate) bucket))
-          300
-      in
-      let polygons = mask (G.Rect.inflate window halo) in
-      let intensity = Litho.Aerial.simulate model condition ~window polygons in
-      List.map
-        (fun g ->
-          let cds, printed = measure_gate intensity ~threshold ~slices ~search g in
-          { Gate_cd.gate = g; condition; cds; slices_requested = slices; printed })
-        bucket)
-    buckets
+  let measure_bucket bucket =
+    let window =
+      G.Rect.inflate
+        (G.Rect.hull_of_list (List.map (fun (g : Layout.Chip.gate_ref) -> g.Layout.Chip.gate) bucket))
+        300
+    in
+    let polygons = mask (G.Rect.inflate window halo) in
+    let intensity = Litho.Aerial.simulate model condition ~window polygons in
+    List.map
+      (fun g ->
+        let cds, printed = measure_gate intensity ~threshold ~slices ~search g in
+        { Gate_cd.gate = g; condition; cds; slices_requested = slices; printed })
+      bucket
+  in
+  match pool with
+  | None -> List.concat_map measure_bucket buckets
+  | Some p ->
+      (* The mask source may build a spatial index lazily on first
+         query (Chip.shapes_in does); warm it on the calling domain so
+         worker tasks only perform concurrent reads. *)
+      (match buckets with
+      | b :: _ ->
+          ignore
+            (mask
+               (G.Rect.inflate
+                  (G.Rect.hull_of_list
+                     (List.map (fun (g : Layout.Chip.gate_ref) -> g.Layout.Chip.gate) b))
+                  halo))
+      | [] -> ());
+      Exec.Pool.concat_map_list ~label:"cdex.tiles" p measure_bucket buckets
 
-let extract_conditions model conditions ~mask ~gates ?(slices = 7) ?(tile = 6000)
+let extract_conditions ?pool model conditions ~mask ~gates ?(slices = 7) ?(tile = 6000)
     ?(search = 220.0) () =
   List.concat_map
-    (fun condition -> extract model condition ~mask ~gates ~slices ~tile ~search ())
+    (fun condition -> extract ?pool model condition ~mask ~gates ~slices ~tile ~search ())
     conditions

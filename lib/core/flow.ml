@@ -12,6 +12,7 @@ type config = {
   tile : int;
   seed : int;
   slices : int;
+  domains : int;
 }
 
 let default_config () =
@@ -31,7 +32,15 @@ let default_config () =
     tile = 6000;
     seed = 42;
     slices = 7;
+    domains = 1;
   }
+
+(* Worker pool for the extraction hot path; [None] when the config
+   asks for a single domain, keeping call sites on the sequential
+   code path.  Results are bit-identical either way (see Exec.Pool). *)
+let with_flow_pool config f =
+  if config.domains <= 1 then f None
+  else Exec.Pool.with_pool ~name:"flow" ~domains:config.domains (fun p -> f (Some p))
 
 let model_cache : (string, Litho.Model.t) Hashtbl.t = Hashtbl.create 4
 
@@ -129,11 +138,11 @@ let add_silicon_noise config cds =
         { cd with Cdex.Gate_cd.cds = List.map bump cd.Cdex.Gate_cd.cds })
       cds
 
-let extract_and_time config ~litho ~netlist ~chip ~mask ~loads ~clock_period =
+let extract_and_time ?pool config ~litho ~netlist ~chip ~mask ~loads ~clock_period =
   let gates = Layout.Chip.gates chip in
   let cds =
-    Cdex.Extract.extract litho config.condition ~mask:(Opc.Mask.source mask) ~gates
-      ~slices:config.slices ~tile:config.tile ()
+    Cdex.Extract.extract ?pool litho config.condition ~mask:(Opc.Mask.source mask)
+      ~gates ~slices:config.slices ~tile:config.tile ()
     |> add_silicon_noise config
   in
   let annotation =
@@ -161,7 +170,8 @@ let run config netlist =
   in
   let mask, opc_stats = opc_of_config config litho chip in
   let cds, annotation, post_opc_sta =
-    extract_and_time config ~litho ~netlist ~chip ~mask ~loads ~clock_period
+    with_flow_pool config (fun pool ->
+        extract_and_time ?pool config ~litho ~netlist ~chip ~mask ~loads ~clock_period)
   in
   {
     config;
@@ -209,8 +219,9 @@ let run_selective r ~selected =
       r.chip ~tile:config.tile ~selected
   in
   let cds, annotation, post_opc_sta =
-    extract_and_time config ~litho ~netlist:r.netlist ~chip:r.chip ~mask
-      ~loads:r.loads ~clock_period:r.clock_period
+    with_flow_pool config (fun pool ->
+        extract_and_time ?pool config ~litho ~netlist:r.netlist ~chip:r.chip ~mask
+          ~loads:r.loads ~clock_period:r.clock_period)
   in
   { r with mask; opc_stats; cds; annotation; post_opc_sta }
 

@@ -25,6 +25,10 @@ type config = {
   tile : int;  (** OPC/extraction tile edge, nm *)
   seed : int;  (** placement/filler randomisation seed *)
   slices : int;  (** CD cutlines per gate *)
+  domains : int;
+      (** worker domains for the extraction hot path (default 1 =
+          sequential); results are bit-identical for any value — see
+          [Exec.Pool] *)
 }
 
 val default_config : unit -> config

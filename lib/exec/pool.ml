@@ -1,0 +1,210 @@
+type stage_stats = { calls : int; tasks : int; wall_s : float }
+
+type t = {
+  name : string;
+  n_domains : int;
+  mutex : Mutex.t; (* guards all mutable fields below + stats *)
+  work : Condition.t; (* workers park here between jobs *)
+  finished : Condition.t; (* caller parks here until remaining = 0 *)
+  client : Mutex.t; (* serialises whole jobs from different clients *)
+  mutable generation : int;
+  mutable job : (int -> unit) option; (* slot -> run that slot's share *)
+  mutable remaining : int;
+  mutable stop : bool;
+  (* Lowest-index task failure of the current job; keeping the minimum
+     makes the re-raised exception independent of worker count. *)
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+  mutable workers : unit Domain.t list;
+  stats : (string, stage_stats) Hashtbl.t;
+}
+
+(* Set while a domain is executing pool tasks: a task that re-enters
+   the pool runs its nested job inline instead of deadlocking on the
+   busy workers. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let domains t = t.n_domains
+
+let record_failure t i exn bt =
+  Mutex.lock t.mutex;
+  (match t.failure with
+  | Some (j, _, _) when j <= i -> ()
+  | _ -> t.failure <- Some (i, exn, bt));
+  Mutex.unlock t.mutex
+
+(* Slot [slot] of [stride] computes tasks slot, slot+stride, ... and
+   stops its stride at the first failing index.  Pure tasks therefore
+   surface the same (minimal) failing index for any worker count. *)
+let run_stride t ~n ~stride body slot =
+  let i = ref slot in
+  try
+    while !i < n do
+      body !i;
+      i := !i + stride
+    done
+  with e -> record_failure t !i e (Printexc.get_raw_backtrace ())
+
+let worker t slot () =
+  Domain.DLS.set in_task true;
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !last do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      last := t.generation;
+      let job = match t.job with Some j -> j | None -> assert false in
+      Mutex.unlock t.mutex;
+      job slot;
+      Mutex.lock t.mutex;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.signal t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ?(name = "pool") ~domains () =
+  let n_domains = max 1 domains in
+  let t =
+    {
+      name;
+      n_domains;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      client = Mutex.create ();
+      generation = 0;
+      job = None;
+      remaining = 0;
+      stop = false;
+      failure = None;
+      workers = [];
+      stats = Hashtbl.create 8;
+    }
+  in
+  t.workers <- List.init (n_domains - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?name ~domains f =
+  let t = create ?name ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let bump_stats t label ~n ~wall =
+  Mutex.lock t.mutex;
+  let cur =
+    Option.value
+      (Hashtbl.find_opt t.stats label)
+      ~default:{ calls = 0; tasks = 0; wall_s = 0.0 }
+  in
+  Hashtbl.replace t.stats label
+    { calls = cur.calls + 1; tasks = cur.tasks + n; wall_s = cur.wall_s +. wall };
+  Mutex.unlock t.mutex
+
+(* Run [body 0 .. body (n-1)]; parallel when the pool has spare
+   domains and we are not already inside a pool task. *)
+let dispatch t ~label ~n body =
+  if n > 0 then begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> bump_stats t label ~n ~wall:(Unix.gettimeofday () -. t0))
+      (fun () ->
+        let stride =
+          if t.n_domains = 1 || n = 1 || Domain.DLS.get in_task then 1
+          else t.n_domains
+        in
+        if stride = 1 then
+          for i = 0 to n - 1 do
+            body i
+          done
+        else begin
+          Mutex.lock t.client;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.client)
+            (fun () ->
+              let share = run_stride t ~n ~stride body in
+              Mutex.lock t.mutex;
+              t.failure <- None;
+              t.job <- Some share;
+              t.remaining <- t.n_domains - 1;
+              t.generation <- t.generation + 1;
+              Condition.broadcast t.work;
+              Mutex.unlock t.mutex;
+              Domain.DLS.set in_task true;
+              share 0;
+              Domain.DLS.set in_task false;
+              Mutex.lock t.mutex;
+              while t.remaining > 0 do
+                Condition.wait t.finished t.mutex
+              done;
+              t.job <- None;
+              let failure = t.failure in
+              t.failure <- None;
+              Mutex.unlock t.mutex;
+              match failure with
+              | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+              | None -> ())
+        end)
+  end
+
+let init ?(label = "init") t n f =
+  if n = 0 then [||]
+  else begin
+    let res = Array.make n None in
+    dispatch t ~label ~n (fun i -> res.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) res
+  end
+
+let map ?(label = "map") t f xs = init ~label t (Array.length xs) (fun i -> f xs.(i))
+
+let map_list ?(label = "map") t f xs =
+  Array.to_list (map ~label t f (Array.of_list xs))
+
+let concat_map_list ?(label = "concat_map") t f xs =
+  List.concat (map_list ~label t f xs)
+
+let map_reduce ?(label = "map_reduce") t ~map:f ~reduce ~init:acc0 xs =
+  Array.fold_left reduce acc0 (map ~label t f xs)
+
+let report t =
+  Mutex.lock t.mutex;
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stats [] in
+  Mutex.unlock t.mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+
+let reset_stats t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.stats;
+  Mutex.unlock t.mutex
+
+let pp_report ppf t =
+  Format.fprintf ppf "@[<v>pool %s (%d domains)" t.name t.n_domains;
+  List.iter
+    (fun (label, s) ->
+      Format.fprintf ppf "@,  %-16s calls=%d tasks=%d wall=%.3fs" label s.calls
+        s.tasks s.wall_s)
+    (report t);
+  Format.fprintf ppf "@]"
+
+let env_domains ?(var = "POTX_DOMAINS") ?(default = 1) () =
+  match Sys.getenv_opt var with
+  | None -> max 1 default
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 1 -> n
+      | _ -> max 1 default)
+
+let recommended ?(cap = 4) () = max 1 (min cap (Domain.recommended_domain_count ()))

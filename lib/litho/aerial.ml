@@ -13,18 +13,38 @@ let mask_raster (model : Model.t) ~window polygons =
   done;
   raster
 
-let simulate (model : Model.t) (condition : Condition.t) ~window polygons =
+let simulate ?pool (model : Model.t) (condition : Condition.t) ~window polygons =
   let mask = mask_raster model ~window polygons in
   let intensity = Raster.copy mask in
   Raster.fill intensity 0.0;
-  List.iter
-    (fun (k : Model.kernel) ->
-      let sigma = Model.effective_sigma model k ~defocus:condition.Condition.defocus in
-      let blurred = Raster.copy mask in
-      Blur.gaussian blurred ~sigma_px:(sigma /. model.Model.step);
-      Raster.blend ~dst:intensity ~src:blurred ~w:k.Model.weight)
-    model.Model.kernels;
+  let blur (k : Model.kernel) =
+    let sigma = Model.effective_sigma model k ~defocus:condition.Condition.defocus in
+    let blurred = Raster.copy mask in
+    Blur.gaussian blurred ~sigma_px:(sigma /. model.Model.step);
+    blurred
+  in
+  (* The per-kernel convolutions are independent; the blend below runs
+     in kernel order on the calling domain, so the accumulated image is
+     bit-identical for any worker count. *)
+  let blurred =
+    match pool with
+    | None -> List.map blur model.Model.kernels
+    | Some p -> Exec.Pool.map_list ~label:"aerial.kernels" p blur model.Model.kernels
+  in
+  List.iter2
+    (fun (k : Model.kernel) b -> Raster.blend ~dst:intensity ~src:b ~w:k.Model.weight)
+    model.Model.kernels blurred;
   intensity
+
+let simulate_tiles ?pool (model : Model.t) (condition : Condition.t) ~windows
+    polygons_of =
+  let tile window =
+    simulate model condition ~window
+      (polygons_of (G.Rect.inflate window model.Model.halo))
+  in
+  match pool with
+  | None -> List.map tile windows
+  | Some p -> Exec.Pool.map_list ~label:"aerial.tiles" p tile windows
 
 let calibrate (model : Model.t) (tech : Layout.Tech.t) =
   (* Reference pattern: a dense array of vertical lines at drawn gate

@@ -4,14 +4,35 @@
     polygons over [window] plus the model halo and convolves with the
     defocus-adjusted kernel stack.  The returned raster holds relative
     intensity (1.0 deep inside large features); apply
-    {!Model.printed_threshold} to decide printing. *)
+    {!Model.printed_threshold} to decide printing.
+
+    When [pool] is given, the per-kernel convolutions run on its
+    domains; the weighted blend is accumulated in kernel order on the
+    calling domain, so the image is bit-identical for any worker
+    count. *)
 
 val simulate :
+  ?pool:Exec.Pool.t ->
   Model.t ->
   Condition.t ->
   window:Geometry.Rect.t ->
   Geometry.Polygon.t list ->
   Raster.t
+
+(** [simulate_tiles model condition ~windows polygons_of] simulates
+    one aerial image per window, fetching each tile's mask shapes with
+    [polygons_of (inflate window halo)].  Tiles are independent and
+    run in parallel on [pool] when given; the result list preserves
+    window order.  [polygons_of] is called from worker domains, so it
+    must be safe for concurrent reads (warm any lazily-built index
+    before calling). *)
+val simulate_tiles :
+  ?pool:Exec.Pool.t ->
+  Model.t ->
+  Condition.t ->
+  windows:Geometry.Rect.t list ->
+  (Geometry.Rect.t -> Geometry.Polygon.t list) ->
+  Raster.t list
 
 (** The rasterised (clamped, anti-aliased) mask without convolution;
     exposed for tests and debugging. *)

@@ -11,8 +11,12 @@ type t = {
 
 (** [compute model conditions ~window polygons] simulates each
     condition over the same raster grid and accumulates the band.
+    With [pool], the per-condition simulations run in parallel; the
+    band accumulation is sequential in condition order, so the result
+    is bit-identical for any worker count.
     @raise Invalid_argument on an empty condition list. *)
 val compute :
+  ?pool:Exec.Pool.t ->
   Model.t ->
   Condition.t list ->
   window:Geometry.Rect.t ->

@@ -8,12 +8,21 @@ type config = {
 
 type summary = { wns : float array; critical_delay : float array }
 
-let run env (netlist : Circuit.Netlist.t) ~loads config rng =
+let run ?pool env (netlist : Circuit.Netlist.t) ~loads config rng =
   if config.trials <= 0 then invalid_arg "Montecarlo.run: trials must be positive";
   let drawn = Circuit.Delay_model.drawn_lengths env.Circuit.Delay_model.tech in
+  (* One independent generator per trial, derived sequentially from the
+     caller's stream: trial results are then a pure function of the
+     trial index, so the Monte-Carlo summary is bit-identical whether
+     trials run sequentially or across a domain pool. *)
+  let trial_rngs = Array.make config.trials rng in
+  for trial = 0 to config.trials - 1 do
+    trial_rngs.(trial) <- Stats.Rng.split rng
+  done;
   let wns = Array.make config.trials 0.0 in
   let critical = Array.make config.trials 0.0 in
-  for trial = 0 to config.trials - 1 do
+  let run_trial trial =
+    let rng = trial_rngs.(trial) in
     let global = Stats.Rng.normal rng ~mean:config.mean_shift ~std:config.sigma_global in
     let per_gate = Hashtbl.create (Circuit.Netlist.num_gates netlist) in
     Array.iter
@@ -32,7 +41,16 @@ let run env (netlist : Circuit.Netlist.t) ~loads config rng =
     let t = Timing.analyze netlist ~loads ~delay ~clock_period:config.clock_period () in
     wns.(trial) <- t.Timing.wns;
     critical.(trial) <- Timing.critical_delay t
-  done;
+  in
+  (match pool with
+  | None ->
+      for trial = 0 to config.trials - 1 do
+        run_trial trial
+      done
+  | Some p ->
+      ignore
+        (Exec.Pool.init ~label:"sta.montecarlo" p config.trials (fun trial ->
+             run_trial trial)));
   { wns; critical_delay = critical }
 
 let fail_probability s =

@@ -15,7 +15,13 @@ type summary = {
   critical_delay : float array;  (** per-trial critical arrival, ps *)
 }
 
+(** [run env netlist ~loads config rng] draws one generator per trial
+    from [rng] (sequentially, via {!Stats.Rng.split}), then evaluates
+    the trials — in parallel on [pool] when given.  Each trial is a
+    pure function of its derived generator, so the summary arrays are
+    bit-identical for any worker count. *)
 val run :
+  ?pool:Exec.Pool.t ->
   Circuit.Delay_model.env ->
   Circuit.Netlist.t ->
   loads:(Circuit.Netlist.net -> float) ->
