@@ -113,6 +113,12 @@ let aerial_tiles_workload () =
   in
   let name = Printf.sprintf "aerial_tiles_%dx%dum" (List.length windows) (tile / 1000) in
   let seq, t_seq = time (fun () -> simulate None) in
+  (* Sequential phase has no pool, so record its attribution directly;
+     the parallel phase is accounted by Exec.Pool under
+     exec.pool.perf.*, and both surface in the "stages" JSON section. *)
+  Obs.Metrics.add_gauge (Obs.Metrics.gauge ("bench." ^ name ^ ".seq.wall_s")) t_seq;
+  Obs.Metrics.add (Obs.Metrics.counter ("bench." ^ name ^ ".seq.tasks"))
+    (List.length windows);
   let base =
     { workload = name; domains_used = 1; tasks = List.length windows; wall_s = t_seq;
       speedup_vs_1 = None; identical = None }
@@ -129,7 +135,40 @@ let aerial_tiles_workload () =
         wall_s = t_par; speedup_vs_1 = Some (t_seq /. t_par);
         identical = Some (rasters_identical seq par) } ]
 
-let json_of_records oc records =
+(* Per-stage wall-time attribution out of the Obs metrics registry:
+   every gauge named <stage>.wall_s plus its sibling .tasks/.calls
+   counters.  Exec.Pool publishes under exec.pool.<pool>.<label>,
+   the sequential phases above publish under bench.<workload>.<phase>. *)
+type stage_record = {
+  stage : string;
+  stage_wall_s : float;
+  stage_tasks : int option;
+  stage_calls : int option;
+}
+
+let stage_attribution () =
+  let snap = Obs.Metrics.snapshot Obs.Metrics.global in
+  let counter name =
+    match List.assoc_opt name snap with
+    | Some (Obs.Metrics.Counter n) -> Some n
+    | _ -> None
+  in
+  List.filter_map
+    (fun (name, v) ->
+      match v with
+      | Obs.Metrics.Gauge w when String.ends_with ~suffix:".wall_s" name ->
+          let stage = String.sub name 0 (String.length name - String.length ".wall_s") in
+          Some
+            {
+              stage;
+              stage_wall_s = w;
+              stage_tasks = counter (stage ^ ".tasks");
+              stage_calls = counter (stage ^ ".calls");
+            }
+      | _ -> None)
+    snap
+
+let json_of_records oc records stages =
   let field_opt fmt = function None -> "" | Some v -> Printf.sprintf fmt v in
   Printf.fprintf oc "{\n  \"bench\": \"perf\",\n  \"host_cores\": %d,\n  \"experiments\": [\n"
     (Domain.recommended_domain_count ());
@@ -142,6 +181,15 @@ let json_of_records oc records =
         (field_opt ", \"identical\": %b" r.identical)
         (if i = List.length records - 1 then "" else ","))
     records;
+  Printf.fprintf oc "  ],\n  \"stages\": [\n";
+  List.iteri
+    (fun i s ->
+      Printf.fprintf oc "    {\"stage\": \"%s\", \"wall_s\": %.6f%s%s}%s\n" s.stage
+        s.stage_wall_s
+        (field_opt ", \"tasks\": %d" s.stage_tasks)
+        (field_opt ", \"calls\": %d" s.stage_calls)
+        (if i = List.length stages - 1 then "" else ","))
+    stages;
   Printf.fprintf oc "  ]\n}\n"
 
 let run_parallel_workloads () =
@@ -162,8 +210,15 @@ let run_parallel_workloads () =
   (match List.filter_map (fun r -> r.identical) records with
   | [] -> ()
   | flags -> assert (List.for_all Fun.id flags));
+  let stages = stage_attribution () in
+  List.iter
+    (fun s ->
+      Format.printf "stage %-36s wall=%.3fs%s%s@." s.stage s.stage_wall_s
+        (match s.stage_tasks with None -> "" | Some t -> Printf.sprintf " tasks=%d" t)
+        (match s.stage_calls with None -> "" | Some c -> Printf.sprintf " calls=%d" c))
+    stages;
   let oc = open_out "BENCH_perf.json" in
-  json_of_records oc records;
+  json_of_records oc records stages;
   close_out oc;
   Format.printf "wrote BENCH_perf.json@."
 

@@ -15,4 +15,13 @@ dune runtest
 echo "== 2-domain smoke (quick t3) =="
 POTX_DOMAINS=2 dune exec bench/main.exe -- --quick t3
 
+echo "== traced smoke (potx run --trace/--metrics + obs-check) =="
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+dune exec bin/potx.exe -- run --bench c17 \
+  --trace "$obs_dir/trace.jsonl" --metrics "$obs_dir/metrics.jsonl" \
+  > /dev/null 2>&1
+dune exec bin/potx.exe -- obs-check \
+  --trace "$obs_dir/trace.jsonl" --metrics "$obs_dir/metrics.jsonl"
+
 echo "check.sh: OK"

@@ -23,9 +23,40 @@ let netlist_of_name seed name =
 let resolve_domains flag =
   if flag > 0 then flag else Exec.Pool.env_domains ~default:1 ()
 
+(* Observability sinks: --trace/--metrics flags when non-empty, else
+   the POTX_TRACE/POTX_METRICS environment variables.  With neither,
+   tracing stays disabled and the run is byte-identical to an
+   uninstrumented build's output. *)
+let resolve_sink flag var =
+  if flag <> "" then Some flag
+  else
+    match Sys.getenv_opt var with
+    | Some v when String.trim v <> "" -> Some (String.trim v)
+    | _ -> None
+
+let with_obs ~trace ~metrics f =
+  let trace = resolve_sink trace "POTX_TRACE" in
+  let metrics = resolve_sink metrics "POTX_METRICS" in
+  Option.iter Obs.Span.stream_to trace;
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace with
+      | None -> ()
+      | Some path ->
+          Format.eprintf "%a@." Obs.Span.pp_tree (Obs.Span.events ());
+          Obs.Span.disable ();
+          Format.eprintf "wrote trace %s@." path);
+      match metrics with
+      | None -> ()
+      | Some path ->
+          Obs.Metrics.save_jsonl_file path Obs.Metrics.global;
+          Format.eprintf "wrote metrics %s@." path)
+    f
+
 (* ---- run ---- *)
 
-let run_flow bench opc seed dose defocus spread report domains =
+let run_flow bench opc seed dose defocus spread report domains trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
   let base = Timing_opc.Flow.default_config () in
   let opc_style =
     match opc with
@@ -101,12 +132,30 @@ let domains_arg =
            $(b,POTX_DOMAINS) from the environment, else 1).  Results are \
            bit-identical for any value.")
 
+let trace_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "trace" ]
+        ~doc:
+          "Write span events (JSONL, one object per line) to $(docv); also \
+           prints the span tree to stderr.  Empty = take $(b,POTX_TRACE) from \
+           the environment, else tracing stays off." ~docv:"FILE")
+
+let metrics_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "metrics" ]
+        ~doc:
+          "Write the metrics registry (JSONL) to $(docv) when the command \
+           exits.  Empty = take $(b,POTX_METRICS) from the environment, else \
+           no file is written." ~docv:"FILE")
+
 let run_cmd =
   let doc = "run the full post-OPC extraction timing flow on a benchmark" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_flow $ bench_arg $ opc_arg $ seed_arg $ dose_arg $ defocus_arg
-      $ spread_arg $ report_arg $ domains_arg)
+      $ spread_arg $ report_arg $ domains_arg $ trace_arg $ metrics_arg)
 
 (* ---- cells ---- *)
 
@@ -193,7 +242,8 @@ let export_cmd =
 
 (* ---- cds ---- *)
 
-let export_cds bench seed path domains =
+let export_cds bench seed path domains trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
   let config =
     { (Timing_opc.Flow.default_config ()) with
       Timing_opc.Flow.seed;
@@ -207,7 +257,128 @@ let cds_cmd =
   let out = Arg.(value & opt string "gates.csv" & info [ "o"; "out" ] ~doc:"Output path.") in
   Cmd.v
     (Cmd.info "cds" ~doc:"run the flow and export the extracted gate CDs as CSV")
-    Term.(const export_cds $ bench_arg $ seed_arg $ out $ domains_arg)
+    Term.(
+      const export_cds $ bench_arg $ seed_arg $ out $ domains_arg $ trace_arg
+      $ metrics_arg)
+
+(* ---- obs-check ---- *)
+
+(* Validate trace/metrics JSONL written by [--trace]/[--metrics]: every
+   line parses, spans cover every flow stage, and the metrics carry a
+   healthy spread of distinct names.  The CI smoke run in bin/check.sh
+   gates on this. *)
+
+let flow_stages = [ "place"; "opc"; "litho"; "cdex"; "annotate"; "sta" ]
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let obs_check trace metrics min_metrics =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let parse_lines what path =
+    if not (Sys.file_exists path) then begin
+      problem "%s: %s file does not exist" path what;
+      []
+    end
+    else begin
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let lines =
+        String.split_on_char '\n' text
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "")
+      in
+      if lines = [] then problem "%s: %s file is empty" path what;
+      List.filter_map
+        (fun line ->
+          match Obs.Json.parse line with
+          | Ok j -> Some j
+          | Error e ->
+              problem "%s: unparsable JSONL line (%s)" path e;
+              None)
+        lines
+    end
+  in
+  if trace = "" && metrics = "" then
+    problem "nothing to check: pass --trace and/or --metrics";
+  if trace <> "" then begin
+    let spans = parse_lines "trace" trace in
+    let names =
+      List.filter_map
+        (fun j ->
+          match (Obs.Json.member "type" j, Obs.Json.member "name" j) with
+          | Some (Obs.Json.Str "span"), Some (Obs.Json.Str n) -> Some n
+          | _ ->
+              problem "%s: line is not a span event" trace;
+              None)
+        spans
+    in
+    List.iter
+      (fun stage ->
+        if not (List.exists (contains ~needle:stage) names) then
+          problem "%s: no span covers flow stage %S" trace stage)
+      flow_stages;
+    if
+      not
+        (List.for_all
+           (fun j ->
+             match Obs.Json.member "wall_s" j with
+             | Some (Obs.Json.Num w) -> w >= 0.0
+             | _ -> false)
+           spans)
+    then problem "%s: span without a non-negative wall_s timing" trace;
+    Format.printf "obs-check: %s: %d spans, %d distinct names@." trace
+      (List.length spans)
+      (List.length (List.sort_uniq String.compare names))
+  end;
+  if metrics <> "" then begin
+    let ms = parse_lines "metrics" metrics in
+    let names =
+      List.filter_map
+        (fun j ->
+          match (Obs.Json.member "type" j, Obs.Json.member "name" j) with
+          | Some (Obs.Json.Str ("counter" | "gauge" | "histogram")), Some (Obs.Json.Str n)
+            -> Some n
+          | _ ->
+              problem "%s: line is not a counter/gauge/histogram" metrics;
+              None)
+        ms
+      |> List.sort_uniq String.compare
+    in
+    if List.length names < min_metrics then
+      problem "%s: only %d distinct metric names (want >= %d)" metrics
+        (List.length names) min_metrics;
+    Format.printf "obs-check: %s: %d metrics, %d distinct names@." metrics
+      (List.length ms) (List.length names)
+  end;
+  match List.rev !problems with
+  | [] -> Format.printf "obs-check: OK@."
+  | ps ->
+      List.iter (fun p -> Format.eprintf "obs-check: %s@." p) ps;
+      exit 1
+
+let obs_check_cmd =
+  let trace =
+    Arg.(value & opt string "" & info [ "trace" ] ~doc:"Trace JSONL to validate." ~docv:"FILE")
+  in
+  let metrics =
+    Arg.(
+      value & opt string ""
+      & info [ "metrics" ] ~doc:"Metrics JSONL to validate." ~docv:"FILE")
+  in
+  let min_metrics =
+    Arg.(
+      value & opt int 10
+      & info [ "min-metrics" ] ~doc:"Minimum distinct metric names required.")
+  in
+  Cmd.v
+    (Cmd.info "obs-check"
+       ~doc:"validate trace/metrics JSONL produced by --trace/--metrics")
+    Term.(const obs_check $ trace $ metrics $ min_metrics)
 
 let () =
   let doc = "post-OPC critical-dimension extraction for advanced timing analysis" in
@@ -215,4 +386,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; cells_cmd; litho_cmd; drc_cmd; liberty_cmd; export_cmd; cds_cmd ]))
+          [ run_cmd; cells_cmd; litho_cmd; drc_cmd; liberty_cmd; export_cmd;
+            cds_cmd; obs_check_cmd ]))

@@ -11,7 +11,14 @@ let empty () : t = Hashtbl.create 64
 
 let size = Hashtbl.length
 
+let m_entries = Obs.Metrics.counter "annotate.entries"
+
+let m_unprinted = Obs.Metrics.counter "annotate.unprinted"
+
 let build ~nmos ~pmos gate_cds : t =
+  Obs.Span.with_ ~name:"annotate.build"
+    ~attrs:(fun () -> [ ("records", string_of_int (List.length gate_cds)) ])
+  @@ fun () ->
   let table = Hashtbl.create (List.length gate_cds) in
   List.iter
     (fun (cd : Gate_cd.t) ->
@@ -34,6 +41,8 @@ let build ~nmos ~pmos gate_cds : t =
               printed = false;
             }
       in
+      Obs.Metrics.incr m_entries;
+      if not entry.printed then Obs.Metrics.incr m_unprinted;
       Hashtbl.replace table (Layout.Chip.gate_key g) entry)
     gate_cds;
   table

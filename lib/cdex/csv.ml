@@ -26,7 +26,7 @@ let write ppf cds =
         (String.concat ";" (List.map (Printf.sprintf "%.4f") cd.Gate_cd.cds)))
     cds
 
-let parse_row lineno line =
+let parse_row ~src lineno line =
   match String.split_on_char ',' line with
   | [ inst; tname; cell_name; kind; lx; ly; hx; hy; drawn_l; drawn_w; bent; dose;
       defocus; slices; printed; cds ] -> (
@@ -57,18 +57,20 @@ let parse_row lineno line =
           printed = bool_of_string printed;
         }
       with e ->
-        failwith (Printf.sprintf "csv line %d: %s" lineno (Printexc.to_string e)))
-  | _ -> failwith (Printf.sprintf "csv line %d: wrong field count" lineno)
+        failwith
+          (Printf.sprintf "%s, line %d: %s" src lineno (Printexc.to_string e)))
+  | _ -> failwith (Printf.sprintf "%s, line %d: wrong field count" src lineno)
 
-let read text =
+let read ?(src = "csv") text =
   match String.split_on_char '\n' text with
-  | [] -> failwith "csv: empty input"
+  | [] -> failwith (src ^ ": empty input")
   | hd :: rows ->
-      if String.trim hd <> header then failwith "csv: missing or wrong header";
+      if String.trim hd <> header then
+        failwith (src ^ ": missing or wrong header");
       rows
       |> List.mapi (fun i row -> (i + 2, String.trim row))
       |> List.filter (fun (_, row) -> row <> "")
-      |> List.map (fun (lineno, row) -> parse_row lineno row)
+      |> List.map (fun (lineno, row) -> parse_row ~src lineno row)
 
 let save_file path cds =
   let oc = open_out path in
@@ -82,4 +84,4 @@ let load_file path =
   let n = in_channel_length ic in
   let text = really_input_string ic n in
   close_in ic;
-  read text
+  read ~src:path text

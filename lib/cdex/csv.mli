@@ -8,9 +8,12 @@ val header : string
 val write : Format.formatter -> Gate_cd.t list -> unit
 
 (** Parse what [write] produced (the header line is required).
-    @raise Failure on malformed input, with a line number. *)
-val read : string -> Gate_cd.t list
+    @raise Failure on malformed input, naming the source and line:
+    ["<src>, line <n>: <cause>"].  [src] describes where the text
+    came from (default ["csv"]); {!load_file} passes its path. *)
+val read : ?src:string -> string -> Gate_cd.t list
 
 val save_file : string -> Gate_cd.t list -> unit
 
+(** {!read} on the file contents, with [~src] set to the path. *)
 val load_file : string -> Gate_cd.t list

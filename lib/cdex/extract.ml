@@ -2,6 +2,16 @@ module G = Geometry
 
 type mask_source = G.Rect.t -> G.Polygon.t list
 
+let m_tiles = Obs.Metrics.counter "cdex.tiles"
+
+let m_gates = Obs.Metrics.counter "cdex.gates"
+
+(* Measured slice CDs in nm; the 90 nm drawn gate sits mid-range. *)
+let m_cd =
+  Obs.Metrics.histogram
+    ~edges:[| 60.0; 70.0; 80.0; 85.0; 90.0; 95.0; 100.0; 110.0; 130.0; 160.0 |]
+    "cdex.cd_nm"
+
 let drawn_source chip window = Layout.Chip.shapes_in chip Layout.Layer.Poly window
 
 (* Group gates into square tiles keyed by the tile containing the gate
@@ -36,9 +46,14 @@ let measure_gate intensity ~threshold ~slices ~search (g : Layout.Chip.gate_ref)
   (cds, List.length cds = slices)
 
 let extract ?pool model condition ~mask ~gates ?(slices = 7) ?(tile = 6000) ?(search = 220.0) () =
+  Obs.Span.with_ ~name:"cdex.extract"
+    ~attrs:(fun () -> [ ("gates", string_of_int (List.length gates)) ])
+  @@ fun () ->
   let halo = model.Litho.Model.halo in
   let threshold = Litho.Model.printed_threshold model condition in
   let buckets = bucket_gates ~tile gates in
+  Obs.Metrics.add m_tiles (List.length buckets);
+  Obs.Metrics.add m_gates (List.length gates);
   let measure_bucket bucket =
     let window =
       G.Rect.inflate
@@ -50,6 +65,7 @@ let extract ?pool model condition ~mask ~gates ?(slices = 7) ?(tile = 6000) ?(se
     List.map
       (fun g ->
         let cds, printed = measure_gate intensity ~threshold ~slices ~search g in
+        List.iter (Obs.Metrics.observe m_cd) cds;
         { Gate_cd.gate = g; condition; cds; slices_requested = slices; printed })
       bucket
   in

@@ -67,7 +67,18 @@ type run = {
   post_opc_sta : Sta.Timing.t;
 }
 
+let m_runs = Obs.Metrics.counter "flow.runs"
+
+let m_place_cells = Obs.Metrics.counter "place.cells"
+
+let m_corners = Obs.Metrics.counter "sta.corners"
+
 let place config netlist =
+  Obs.Span.with_ ~name:"flow.place"
+    ~attrs:(fun () ->
+      [ ("cells", string_of_int (Circuit.Netlist.num_gates netlist)) ])
+  @@ fun () ->
+  Obs.Metrics.add m_place_cells (Circuit.Netlist.num_gates netlist);
   let rng = Stats.Rng.create config.seed in
   let cells =
     Array.to_list netlist.Circuit.Netlist.gates
@@ -141,34 +152,56 @@ let add_silicon_noise config cds =
 let extract_and_time ?pool config ~litho ~netlist ~chip ~mask ~loads ~clock_period =
   let gates = Layout.Chip.gates chip in
   let cds =
-    Cdex.Extract.extract ?pool litho config.condition ~mask:(Opc.Mask.source mask)
-      ~gates ~slices:config.slices ~tile:config.tile ()
-    |> add_silicon_noise config
+    Obs.Span.with_ ~name:"flow.cdex" (fun () ->
+        Cdex.Extract.extract ?pool litho config.condition
+          ~mask:(Opc.Mask.source mask) ~gates ~slices:config.slices
+          ~tile:config.tile ()
+        |> add_silicon_noise config)
   in
   let annotation =
-    Cdex.Annotate.build ~nmos:config.env.Circuit.Delay_model.nmos
-      ~pmos:config.env.Circuit.Delay_model.pmos cds
+    Obs.Span.with_ ~name:"flow.annotate" (fun () ->
+        Cdex.Annotate.build ~nmos:config.env.Circuit.Delay_model.nmos
+          ~pmos:config.env.Circuit.Delay_model.pmos cds)
   in
   let delay =
     Sta.Timing.model_delay config.env
       ~lengths_of:(lengths_of_annotation annotation netlist)
   in
-  let sta = Sta.Timing.analyze netlist ~loads ~delay ~clock_period () in
+  let sta =
+    Obs.Span.with_ ~name:"flow.sta.post_opc" (fun () ->
+        Sta.Timing.analyze netlist ~loads ~delay ~clock_period ())
+  in
   (cds, annotation, sta)
 
 let run config netlist =
-  let litho = litho_model config in
+  Obs.Span.with_ ~name:"flow.run"
+    ~attrs:(fun () ->
+      [ ("gates", string_of_int (Circuit.Netlist.num_gates netlist));
+        ("domains", string_of_int config.domains) ])
+  @@ fun () ->
+  Obs.Metrics.incr m_runs;
+  let litho = Obs.Span.with_ ~name:"flow.litho_model" (fun () -> litho_model config) in
   let chip = place config netlist in
   let loads = Circuit.Loads.of_netlist config.env netlist in
   (* Sign-off view: characterised NLDM library at drawn CDs. *)
-  let nldm = Circuit.Nldm.build_library config.env in
-  let drawn_delay = Sta.Timing.nldm_delay nldm in
-  let pre = Sta.Timing.analyze netlist ~loads ~delay:drawn_delay ~clock_period:1.0 () in
-  let clock_period = Sta.Timing.critical_delay pre *. (1.0 +. config.clock_margin) in
-  let drawn_sta =
-    Sta.Timing.analyze netlist ~loads ~delay:drawn_delay ~clock_period ()
+  let nldm =
+    Obs.Span.with_ ~name:"flow.library" (fun () -> Circuit.Nldm.build_library config.env)
   in
-  let mask, opc_stats = opc_of_config config litho chip in
+  let drawn_delay = Sta.Timing.nldm_delay nldm in
+  let drawn_sta, clock_period =
+    Obs.Span.with_ ~name:"flow.sta.drawn" (fun () ->
+        let pre =
+          Sta.Timing.analyze netlist ~loads ~delay:drawn_delay ~clock_period:1.0 ()
+        in
+        let clock_period =
+          Sta.Timing.critical_delay pre *. (1.0 +. config.clock_margin)
+        in
+        ( Sta.Timing.analyze netlist ~loads ~delay:drawn_delay ~clock_period (),
+          clock_period ))
+  in
+  let mask, opc_stats =
+    Obs.Span.with_ ~name:"flow.opc" (fun () -> opc_of_config config litho chip)
+  in
   let cds, annotation, post_opc_sta =
     with_flow_pool config (fun pool ->
         extract_and_time ?pool config ~litho ~netlist ~chip ~mask ~loads ~clock_period)
@@ -188,12 +221,15 @@ let run config netlist =
   }
 
 let corner_views r ~spread =
+  Obs.Span.with_ ~name:"flow.sta.corners" @@ fun () ->
+  let corners = Sta.Corners.classic ~spread in
+  Obs.Metrics.add m_corners (List.length corners);
   List.map
     (fun corner ->
       ( corner,
         Sta.Corners.analyze r.config.env r.netlist ~loads:r.loads corner
           ~clock_period:r.clock_period ))
-    (Sta.Corners.classic ~spread)
+    corners
 
 let critical_gates r ~view ~margin =
   let worst = view.Sta.Timing.wns in
@@ -211,12 +247,16 @@ let critical_gates r ~view ~margin =
     (Layout.Chip.gates r.chip)
 
 let run_selective r ~selected =
+  Obs.Span.with_ ~name:"flow.run_selective"
+    ~attrs:(fun () -> [ ("selected", string_of_int (List.length selected)) ])
+  @@ fun () ->
   let config = r.config in
   let litho = litho_model config in
   let mask, opc_stats =
-    Opc.Chip_opc.correct_selective litho config.opc_config
-      (Opc.Rule_opc.default_recipe config.tech)
-      r.chip ~tile:config.tile ~selected
+    Obs.Span.with_ ~name:"flow.opc" (fun () ->
+        Opc.Chip_opc.correct_selective litho config.opc_config
+          (Opc.Rule_opc.default_recipe config.tech)
+          r.chip ~tile:config.tile ~selected)
   in
   let cds, annotation, post_opc_sta =
     with_flow_pool config (fun pool ->

@@ -1,5 +1,19 @@
 type stage_stats = { calls : int; tasks : int; wall_s : float }
 
+(* Per-label instruments live in the global Obs.Metrics registry under
+   [exec.pool.<pool>.<label>.*]; the pool-local entry only remembers
+   the registry values at the moment this pool first used the label,
+   so [report] can present a per-pool-instance view of the shared
+   (cumulative, cross-pool) registry counters. *)
+type stage_handle = {
+  calls_m : Obs.Metrics.counter;
+  tasks_m : Obs.Metrics.counter;
+  wall_m : Obs.Metrics.gauge;
+  calls0 : int;
+  tasks0 : int;
+  wall0 : float;
+}
+
 type t = {
   name : string;
   n_domains : int;
@@ -15,7 +29,7 @@ type t = {
      makes the re-raised exception independent of worker count. *)
   mutable failure : (int * exn * Printexc.raw_backtrace) option;
   mutable workers : unit Domain.t list;
-  stats : (string, stage_stats) Hashtbl.t;
+  stats : (string, stage_handle) Hashtbl.t;
 }
 
 (* Set while a domain is executing pool tasks: a task that re-enters
@@ -103,16 +117,37 @@ let with_pool ?name ~domains f =
   let t = create ?name ~domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let bump_stats t label ~n ~wall =
+let stage_handle t label =
   Mutex.lock t.mutex;
-  let cur =
-    Option.value
-      (Hashtbl.find_opt t.stats label)
-      ~default:{ calls = 0; tasks = 0; wall_s = 0.0 }
+  let h =
+    match Hashtbl.find_opt t.stats label with
+    | Some h -> h
+    | None ->
+        let metric suffix = Printf.sprintf "exec.pool.%s.%s.%s" t.name label suffix in
+        let calls_m = Obs.Metrics.counter (metric "calls") in
+        let tasks_m = Obs.Metrics.counter (metric "tasks") in
+        let wall_m = Obs.Metrics.gauge (metric "wall_s") in
+        let h =
+          {
+            calls_m;
+            tasks_m;
+            wall_m;
+            calls0 = Obs.Metrics.counter_value calls_m;
+            tasks0 = Obs.Metrics.counter_value tasks_m;
+            wall0 = Obs.Metrics.gauge_value wall_m;
+          }
+        in
+        Hashtbl.add t.stats label h;
+        h
   in
-  Hashtbl.replace t.stats label
-    { calls = cur.calls + 1; tasks = cur.tasks + n; wall_s = cur.wall_s +. wall };
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  h
+
+let bump_stats t label ~n ~wall =
+  let h = stage_handle t label in
+  Obs.Metrics.incr h.calls_m;
+  Obs.Metrics.add h.tasks_m n;
+  Obs.Metrics.add_gauge h.wall_m wall
 
 (* Run [body 0 .. body (n-1)]; parallel when the pool has spare
    domains and we are not already inside a pool task. *)
@@ -181,10 +216,20 @@ let map_reduce ?(label = "map_reduce") t ~map:f ~reduce ~init:acc0 xs =
 
 let report t =
   Mutex.lock t.mutex;
-  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stats [] in
+  let rows = Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.stats [] in
   Mutex.unlock t.mutex;
-  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+  rows
+  |> List.map (fun (label, h) ->
+         ( label,
+           {
+             calls = Obs.Metrics.counter_value h.calls_m - h.calls0;
+             tasks = Obs.Metrics.counter_value h.tasks_m - h.tasks0;
+             wall_s = Obs.Metrics.gauge_value h.wall_m -. h.wall0;
+           } ))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Dropping the label entries re-baselines this pool's view; the
+   registry metrics themselves keep their cumulative values. *)
 let reset_stats t =
   Mutex.lock t.mutex;
   Hashtbl.reset t.stats;

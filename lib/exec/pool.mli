@@ -77,7 +77,16 @@ val map_reduce :
 
     Every job is accounted against its [?label] (default ["map"]):
     number of jobs, number of tasks, and wall-clock seconds spent in
-    the job (dispatch to join, as seen by the caller). *)
+    the job (dispatch to join, as seen by the caller).
+
+    The counters live in the global {!Obs.Metrics} registry as
+    [exec.pool.<pool>.<label>.calls], [....tasks] (counters) and
+    [....wall_s] (gauge), so a [--metrics] dump carries them; pools
+    sharing a name share the registry metrics, which accumulate
+    across pool instances.  {!report} and {!pp_report} are per-pool
+    views: they subtract the registry values seen when this pool
+    first used the label, and {!reset_stats} re-baselines that view
+    without touching the registry. *)
 
 type stage_stats = {
   calls : int;  (** jobs dispatched under this label *)

@@ -1,5 +1,9 @@
 module G = Geometry
 
+let m_simulations = Obs.Metrics.counter "litho.simulations"
+
+let m_tiles = Obs.Metrics.counter "litho.tiles"
+
 let mask_raster (model : Model.t) ~window polygons =
   let raster =
     Raster.of_window ~window ~halo:model.Model.halo ~step:model.Model.step
@@ -14,6 +18,10 @@ let mask_raster (model : Model.t) ~window polygons =
   raster
 
 let simulate ?pool (model : Model.t) (condition : Condition.t) ~window polygons =
+  Obs.Span.with_ ~name:"litho.simulate"
+    ~attrs:(fun () -> [ ("polygons", string_of_int (List.length polygons)) ])
+  @@ fun () ->
+  Obs.Metrics.incr m_simulations;
   let mask = mask_raster model ~window polygons in
   let intensity = Raster.copy mask in
   Raster.fill intensity 0.0;
@@ -38,6 +46,10 @@ let simulate ?pool (model : Model.t) (condition : Condition.t) ~window polygons 
 
 let simulate_tiles ?pool (model : Model.t) (condition : Condition.t) ~windows
     polygons_of =
+  Obs.Span.with_ ~name:"litho.simulate_tiles"
+    ~attrs:(fun () -> [ ("tiles", string_of_int (List.length windows)) ])
+  @@ fun () ->
+  Obs.Metrics.add m_tiles (List.length windows);
   let tile window =
     simulate model condition ~window
       (polygons_of (G.Rect.inflate window model.Model.halo))

@@ -1,0 +1,3 @@
+let wall = Unix.gettimeofday
+
+let cpu = Sys.time

@@ -1,0 +1,12 @@
+(** Timing sources for spans and metrics.
+
+    OCaml's stdlib exposes no monotonic clock, so [wall] is
+    [Unix.gettimeofday] — good enough for stage attribution at the
+    millisecond-to-second scale the flow runs at.  [cpu] is
+    process-wide CPU seconds ([Sys.time]), which keeps the
+    wall-vs-CPU split meaningful on the single calling domain but
+    over-counts when worker domains are busy during a span. *)
+
+val wall : unit -> float
+
+val cpu : unit -> float

@@ -1,0 +1,28 @@
+(** Minimal JSON tree — just enough to emit the JSONL trace/metrics
+    sinks deterministically and to parse them back in validators and
+    tests.  Not a general-purpose JSON library: numbers are floats,
+    no unicode escapes beyond [\uXXXX] pass-through on parse. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Integer-valued floats print without a fractional part, other
+    floats with ["%.6g"]-style shortest-ish form, so encoding is
+    deterministic across runs. *)
+val to_string : t -> string
+
+(** Parse one JSON value (e.g. one JSONL line).  Trailing whitespace
+    is allowed; trailing garbage is an error. *)
+val parse : string -> (t, string) result
+
+(** [member k j] is the value under key [k] when [j] is an object. *)
+val member : string -> t -> t option
+
+val to_float : t -> float option
+
+val to_str : t -> string option

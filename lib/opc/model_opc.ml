@@ -35,7 +35,19 @@ type stats = {
 
 let clamp v lo hi = max lo (min hi v)
 
-let correct (model : Litho.Model.t) config ~targets ~context =
+let m_iterations = Obs.Metrics.counter "opc.iterations"
+
+let m_sites = Obs.Metrics.counter "opc.epe_sites"
+
+let m_unresolved = Obs.Metrics.counter "opc.unresolved"
+
+(* Per-call max |EPE| in nm; edges span "converged" to "hopeless". *)
+let m_epe =
+  Obs.Metrics.histogram
+    ~edges:[| 0.1; 0.2; 0.5; 1.0; 2.0; 5.0; 10.0; 20.0 |]
+    "opc.max_epe_nm"
+
+let correct_untraced (model : Litho.Model.t) config ~targets ~context =
   match targets with
   | [] ->
       ([], { iterations_run = 0; max_epe = 0.0; rms_epe = 0.0; sites = 0; unresolved = 0 })
@@ -224,6 +236,17 @@ let correct (model : Litho.Model.t) config ~targets ~context =
           sites = List.length epes;
           unresolved;
         } )
+
+let correct model config ~targets ~context =
+  Obs.Span.with_ ~name:"opc.correct"
+    ~attrs:(fun () -> [ ("targets", string_of_int (List.length targets)) ])
+  @@ fun () ->
+  let mask, stats = correct_untraced model config ~targets ~context in
+  Obs.Metrics.add m_iterations stats.iterations_run;
+  Obs.Metrics.add m_sites stats.sites;
+  Obs.Metrics.add m_unresolved stats.unresolved;
+  if stats.sites > 0 then Obs.Metrics.observe m_epe stats.max_epe;
+  (mask, stats)
 
 let merge_stats = function
   | [] -> { iterations_run = 0; max_epe = 0.0; rms_epe = 0.0; sites = 0; unresolved = 0 }

@@ -8,8 +8,14 @@ type config = {
 
 type summary = { wns : float array; critical_delay : float array }
 
+let m_trials = Obs.Metrics.counter "sta.mc_trials"
+
 let run ?pool env (netlist : Circuit.Netlist.t) ~loads config rng =
   if config.trials <= 0 then invalid_arg "Montecarlo.run: trials must be positive";
+  Obs.Span.with_ ~name:"sta.montecarlo"
+    ~attrs:(fun () -> [ ("trials", string_of_int config.trials) ])
+  @@ fun () ->
+  Obs.Metrics.add m_trials config.trials;
   let drawn = Circuit.Delay_model.drawn_lengths env.Circuit.Delay_model.tech in
   (* One independent generator per trial, derived sequentially from the
      caller's stream: trial results are then a pure function of the

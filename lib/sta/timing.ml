@@ -36,7 +36,14 @@ type t = {
   pred : int array;
 }
 
+let m_analyses = Obs.Metrics.counter "sta.analyses"
+
+let m_paths = Obs.Metrics.counter "sta.paths"
+
 let analyze (netlist : N.t) ~loads ~delay ?(input_slew = 20.0) ~clock_period () =
+  Obs.Span.with_ ~name:"sta.analyze"
+    ~attrs:(fun () -> [ ("nets", string_of_int netlist.N.num_nets) ])
+  @@ fun () ->
   let n = netlist.N.num_nets in
   let arrival = Array.make n neg_infinity in
   let slew = Array.make n input_slew in
@@ -93,6 +100,8 @@ let analyze (netlist : N.t) ~loads ~delay ?(input_slew = 20.0) ~clock_period () 
   let tns =
     List.fold_left (fun acc p -> if p.slack < 0.0 then acc +. p.slack else acc) 0.0 paths
   in
+  Obs.Metrics.incr m_analyses;
+  Obs.Metrics.add m_paths (List.length paths);
   { arrival; slew; paths; wns; tns; clock_period; driver; pred }
 
 let critical_delay t =

@@ -1,0 +1,268 @@
+(* lib/obs: span nesting/ordering, disabled-mode no-op, histogram
+   bucket determinism, JSONL round-trips, and the flow-level contract
+   that counters/histograms are identical for any worker count. *)
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checks = Alcotest.(check string)
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  Obs.Span.enable ();
+  let r =
+    Obs.Span.with_ ~name:"outer"
+      ~attrs:(fun () -> [ ("k", "v") ])
+      (fun () ->
+        Obs.Span.with_ ~name:"inner.a" (fun () -> ());
+        Obs.Span.with_ ~name:"inner.b" (fun () -> 7))
+  in
+  Obs.Span.disable ();
+  checki "with_ returns the body's value" 7 r;
+  let evs = Obs.Span.events () in
+  checki "three spans" 3 (List.length evs);
+  (* Completion order: children close before their parent. *)
+  checks "completion order" "inner.a,inner.b,outer"
+    (String.concat "," (List.map (fun (e : Obs.Span.event) -> e.Obs.Span.name) evs));
+  let find name = List.find (fun (e : Obs.Span.event) -> e.Obs.Span.name = name) evs in
+  let outer = find "outer" and a = find "inner.a" and b = find "inner.b" in
+  checki "outer is a root" 0 outer.Obs.Span.depth;
+  checkb "outer has no parent" true (outer.Obs.Span.parent = None);
+  checkb "a parented at outer" true (a.Obs.Span.parent = Some outer.Obs.Span.id);
+  checkb "b parented at outer" true (b.Obs.Span.parent = Some outer.Obs.Span.id);
+  checki "children at depth 1" 1 a.Obs.Span.depth;
+  (* Ids are allocation-ordered: outer opens first. *)
+  checkb "outer id lowest" true
+    (outer.Obs.Span.id < a.Obs.Span.id && a.Obs.Span.id < b.Obs.Span.id);
+  checkb "attrs recorded" true (outer.Obs.Span.attrs = [ ("k", "v") ]);
+  checkb "timings non-negative" true
+    (List.for_all
+       (fun (e : Obs.Span.event) -> e.Obs.Span.wall_s >= 0.0 && e.Obs.Span.cpu_s >= 0.0)
+       evs)
+
+let test_span_survives_exception () =
+  Obs.Span.enable ();
+  (try Obs.Span.with_ ~name:"boom" (fun () -> failwith "x") with Failure _ -> ());
+  Obs.Span.disable ();
+  checki "span recorded despite raise" 1 (List.length (Obs.Span.events ()))
+
+let test_disabled_is_noop () =
+  Obs.Span.enable ();
+  Obs.Span.disable ();
+  checkb "disabled" false (Obs.Span.enabled ());
+  let before = List.length (Obs.Span.events ()) in
+  let attrs_evaluated = ref false in
+  let v =
+    Obs.Span.with_ ~name:"ghost"
+      ~attrs:(fun () ->
+        attrs_evaluated := true;
+        [])
+      (fun () -> 42)
+  in
+  checki "value passes through" 42 v;
+  checki "no event recorded" before (List.length (Obs.Span.events ()));
+  checkb "attrs thunk never forced" false !attrs_evaluated
+
+let test_pp_tree_renders () =
+  Obs.Span.enable ();
+  Obs.Span.with_ ~name:"root" (fun () ->
+      Obs.Span.with_ ~name:"child" (fun () -> ()));
+  Obs.Span.disable ();
+  let s = Format.asprintf "%a" Obs.Span.pp_tree (Obs.Span.events ()) in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "root present" true (contains "root");
+  checkb "child indented under root" true (contains "    child")
+
+(* ---- metrics ---- *)
+
+let test_counter_and_gauge () =
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter ~registry:r "a.count" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  checki "counter accumulates" 5 (Obs.Metrics.counter_value c);
+  let g = Obs.Metrics.gauge ~registry:r "a.wall_s" in
+  Obs.Metrics.add_gauge g 1.5;
+  Obs.Metrics.add_gauge g 0.25;
+  checkb "gauge accumulates" true (Obs.Metrics.gauge_value g = 1.75);
+  let c' = Obs.Metrics.counter ~registry:r "a.count" in
+  Obs.Metrics.incr c';
+  checki "same name is same instrument" 6 (Obs.Metrics.counter_value c);
+  checkb "kind clash rejected" true
+    (try
+       ignore (Obs.Metrics.gauge ~registry:r "a.count");
+       false
+     with Invalid_argument _ -> true);
+  Obs.Metrics.reset r;
+  checki "reset zeroes values" 0 (Obs.Metrics.counter_value c)
+
+let test_histogram_bucket_determinism () =
+  let values = [ 0.5; 1.5; 3.0; 7.0; 2.0; 1.0 ] in
+  let snap_of values =
+    let r = Obs.Metrics.create () in
+    let h = Obs.Metrics.histogram ~registry:r ~edges:[| 1.0; 2.0; 5.0 |] "h" in
+    List.iter (Obs.Metrics.observe h) values;
+    match Obs.Metrics.snapshot r with
+    | [ ("h", Obs.Metrics.Histogram s) ] -> s
+    | _ -> Alcotest.fail "expected exactly one histogram"
+  in
+  let s = snap_of values in
+  (* v <= edge picks the bucket; the last bucket is overflow. *)
+  checkb "bucket counts" true (s.Obs.Metrics.counts = [| 2; 2; 1; 1 |]);
+  checki "total count" 6 s.Obs.Metrics.count;
+  let s' = snap_of (List.rev values) in
+  checkb "observation order does not matter" true
+    (s.Obs.Metrics.counts = s'.Obs.Metrics.counts
+    && s.Obs.Metrics.count = s'.Obs.Metrics.count
+    && s.Obs.Metrics.sum = s'.Obs.Metrics.sum);
+  checkb "bad edges rejected" true
+    (try
+       ignore (Obs.Metrics.histogram ~edges:[| 2.0; 1.0 |] ~registry:(Obs.Metrics.create ()) "bad");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- JSONL ---- *)
+
+let test_json_roundtrip () =
+  let j =
+    Obs.Json.Obj
+      [ ("s", Obs.Json.Str "a\"b\\c\nd");
+        ("n", Obs.Json.Num 1.5);
+        ("i", Obs.Json.Num 42.0);
+        ("b", Obs.Json.Bool true);
+        ("z", Obs.Json.Null);
+        ("l", Obs.Json.Arr [ Obs.Json.Num 1.0; Obs.Json.Str "x" ]) ]
+  in
+  match Obs.Json.parse (Obs.Json.to_string j) with
+  | Ok j' -> checkb "round-trips" true (j = j')
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let read_jsonl path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+
+let test_metrics_jsonl_parses_back () =
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter ~registry:r "x.tiles") 12;
+  Obs.Metrics.add_gauge (Obs.Metrics.gauge ~registry:r "x.wall_s") 0.5;
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram ~registry:r ~edges:[| 1.0; 2.0 |] "x.cd_nm")
+    1.5;
+  let path = Filename.temp_file "obs_metrics" ".jsonl" in
+  Obs.Metrics.save_jsonl_file path r;
+  let lines = read_jsonl path in
+  Sys.remove path;
+  checki "one line per metric" 3 (List.length lines);
+  let parsed =
+    List.map
+      (fun l ->
+        match Obs.Json.parse l with
+        | Ok j -> j
+        | Error e -> Alcotest.fail ("bad metrics line: " ^ e))
+      lines
+  in
+  let names =
+    List.filter_map (fun j -> Option.bind (Obs.Json.member "name" j) Obs.Json.to_str)
+      parsed
+  in
+  checks "sorted by name" "x.cd_nm,x.tiles,x.wall_s" (String.concat "," names);
+  let counter =
+    List.find
+      (fun j -> Obs.Json.member "type" j = Some (Obs.Json.Str "counter"))
+      parsed
+  in
+  checkb "counter value survives" true
+    (Obs.Json.member "value" counter = Some (Obs.Json.Num 12.0))
+
+let test_trace_jsonl_parses_back () =
+  let path = Filename.temp_file "obs_trace" ".jsonl" in
+  Obs.Span.stream_to path;
+  Obs.Span.with_ ~name:"outer" (fun () ->
+      Obs.Span.with_ ~name:"inner" (fun () -> ()));
+  Obs.Span.disable ();
+  let lines = read_jsonl path in
+  Sys.remove path;
+  checki "two span lines" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      match Obs.Json.parse l with
+      | Ok j ->
+          checkb "is a span" true (Obs.Json.member "type" j = Some (Obs.Json.Str "span"));
+          checkb "has wall_s" true
+            (match Option.bind (Obs.Json.member "wall_s" j) Obs.Json.to_float with
+            | Some w -> w >= 0.0
+            | None -> false)
+      | Error e -> Alcotest.fail ("bad trace line: " ^ e))
+    lines
+
+(* ---- worker-count independence of flow metrics ---- *)
+
+let test_flow_metrics_domain_independent () =
+  let config domains =
+    let c = Timing_opc.Flow.default_config () in
+    {
+      c with
+      Timing_opc.Flow.opc_config =
+        { c.Timing_opc.Flow.opc_config with Opc.Model_opc.iterations = 2 };
+      slices = 3;
+      domains;
+    }
+  in
+  (* Warm the global litho-model cache so both measured runs see the
+     same call pattern (calibration simulates only on the first run). *)
+  ignore (Timing_opc.Flow.run (config 1) (Circuit.Generator.c17 ()));
+  let deterministic_metrics domains =
+    Obs.Metrics.reset Obs.Metrics.global;
+    ignore (Timing_opc.Flow.run (config domains) (Circuit.Generator.c17 ()));
+    Obs.Metrics.snapshot Obs.Metrics.global
+    |> List.filter_map (fun (name, v) ->
+           (* Gauges carry wall time and exec.pool.* exists only when a
+              pool is created; both are exempt from the contract. *)
+           if String.length name >= 10 && String.sub name 0 10 = "exec.pool." then None
+           else
+             match v with
+             | Obs.Metrics.Counter n -> Some (name, `C n)
+             | Obs.Metrics.Gauge _ -> None
+             | Obs.Metrics.Histogram h ->
+                 Some (name, `H (h.Obs.Metrics.edges, h.Obs.Metrics.counts, h.Obs.Metrics.count)))
+  in
+  let a = deterministic_metrics 1 in
+  let b = deterministic_metrics 2 in
+  checkb "at least ten metric names" true (List.length a >= 10);
+  checkb "counters and buckets identical at domains 1 vs 2" true (a = b)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "raise still records" `Quick test_span_survives_exception;
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "pp_tree" `Quick test_pp_tree_renders;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter/gauge" `Quick test_counter_and_gauge;
+          Alcotest.test_case "histogram determinism" `Quick test_histogram_bucket_determinism;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "metrics parse back" `Quick test_metrics_jsonl_parses_back;
+          Alcotest.test_case "trace parses back" `Quick test_trace_jsonl_parses_back;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "metrics at domains 1 vs 2" `Slow
+            test_flow_metrics_domain_independent;
+        ] );
+    ]
