@@ -81,9 +81,21 @@ type perf_record = {
   domains_used : int;
   tasks : int;
   wall_s : float;
+  wall_cached_s : float option;  (** warm content-cache rerun of the same work *)
   speedup_vs_1 : float option;
+  speedup_cached : float option;
   identical : bool option;
+  note : string option;
 }
+
+let base_record ~workload ~tasks ~wall_s =
+  { workload; domains_used = 1; tasks; wall_s; wall_cached_s = None;
+    speedup_vs_1 = None; speedup_cached = None; identical = None; note = None }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
 
 let rasters_identical a b =
   List.length a = List.length b
@@ -92,12 +104,22 @@ let rasters_identical a b =
          Litho.Raster.unsafe_data ra = Litho.Raster.unsafe_data rb)
        a b
 
+(* The speedup record compares a sequential and a multi-domain run of
+   identical work, so a warm content cache would turn the second run
+   into a memcpy benchmark: the cache is switched off for the duration
+   (and restored after). *)
+let with_cache_off f =
+  let was = Litho.Tile_cache.enabled () in
+  Litho.Tile_cache.set_enabled false;
+  Fun.protect ~finally:(fun () -> Litho.Tile_cache.set_enabled was) f
+
 let aerial_tiles_workload () =
+  with_cache_off @@ fun () ->
   let m = Lazy.force model in
   let chip = Lazy.force small_chip in
   let tile = 2000 in
   let windows =
-    List.init 16 (fun i ->
+    List.init (if !Common.quick then 8 else 16) (fun i ->
         let x = i mod 4 * tile and y = i / 4 * tile in
         G.Rect.make ~lx:x ~ly:y ~hx:(x + tile) ~hy:(y + tile))
   in
@@ -105,11 +127,6 @@ let aerial_tiles_workload () =
   ignore (source (G.Rect.make ~lx:0 ~ly:0 ~hx:1 ~hy:1));
   let simulate pool =
     Litho.Aerial.simulate_tiles ?pool m Litho.Condition.nominal ~windows source
-  in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
   in
   let name = Printf.sprintf "aerial_tiles_%dx%dum" (List.length windows) (tile / 1000) in
   let seq, t_seq = time (fun () -> simulate None) in
@@ -119,10 +136,7 @@ let aerial_tiles_workload () =
   Obs.Metrics.add_gauge (Obs.Metrics.gauge ("bench." ^ name ^ ".seq.wall_s")) t_seq;
   Obs.Metrics.add (Obs.Metrics.counter ("bench." ^ name ^ ".seq.tasks"))
     (List.length windows);
-  let base =
-    { workload = name; domains_used = 1; tasks = List.length windows; wall_s = t_seq;
-      speedup_vs_1 = None; identical = None }
-  in
+  let base = base_record ~workload:name ~tasks:(List.length windows) ~wall_s:t_seq in
   let domains = Exec.Pool.env_domains ~default:(Exec.Pool.recommended ()) () in
   if domains <= 1 then [ base ]
   else
@@ -130,10 +144,113 @@ let aerial_tiles_workload () =
       Exec.Pool.with_pool ~name:"perf" ~domains (fun p ->
           time (fun () -> simulate (Some p)))
     in
+    (* A speedup measured on a host without the cores to back the
+       domains says nothing about the engine; label it as such rather
+       than recording an apparent regression. *)
+    let note =
+      if Domain.recommended_domain_count () <= 1 then
+        Some "single-core host; speedup not meaningful"
+      else None
+    in
     [ base;
-      { workload = name; domains_used = domains; tasks = List.length windows;
-        wall_s = t_par; speedup_vs_1 = Some (t_seq /. t_par);
-        identical = Some (rasters_identical seq par) } ]
+      { base with domains_used = domains; wall_s = t_par;
+        speedup_vs_1 = Some (t_seq /. t_par);
+        identical = Some (rasters_identical seq par); note } ]
+
+(* ---- content-cache workloads ----------------------------------------
+
+   Both run the same work twice against a cleared [Litho.Tile_cache]:
+   the cold pass fills it (repeated cells and repeated defocus values
+   already hit within the pass), the second pass reruns the identical
+   work warm.  The bit-identical cross-check compares the two passes'
+   results, which the cache guarantees by construction. *)
+
+let digest_rasters rs =
+  Digest.string
+    (String.concat ""
+       (List.map (fun r -> Digest.string (Marshal.to_string (Litho.Raster.unsafe_data r) [])) rs))
+
+(* Repeated-cell OPC: n translated copies of one line cluster, each
+   corrected with model OPC.  Copy 0 pays for its simulations; the
+   translation-invariant cache serves every later copy's iteration
+   loop, cold or warm. *)
+let opc_iterate_workload () =
+  let m = Lazy.force model in
+  let n = if !Common.quick then 3 else 6 in
+  let iterations = if !Common.quick then 3 else 5 in
+  let cfg = { (Opc.Model_opc.default_config tech) with Opc.Model_opc.iterations } in
+  let cluster i =
+    List.init 3 (fun j ->
+        let x = (i * 4000) + (j * 260) in
+        G.Polygon.of_rect (G.Rect.make ~lx:x ~ly:0 ~hx:(x + 90) ~hy:2000))
+  in
+  let run_all () =
+    List.init n (fun i ->
+        fst (Opc.Model_opc.correct m cfg ~targets:(cluster i) ~context:[]))
+  in
+  Litho.Tile_cache.set_enabled true;
+  Litho.Tile_cache.clear Litho.Tile_cache.global;
+  Gc.compact ();
+  let cold, t_cold = time run_all in
+  Gc.compact ();
+  let warm, t_warm = time run_all in
+  let identical =
+    List.for_all2 (List.for_all2 G.Polygon.equal) cold warm
+  in
+  { (base_record ~workload:"opc_iterate" ~tasks:n ~wall_s:t_cold) with
+    wall_cached_s = Some t_warm;
+    speedup_cached = Some (t_cold /. t_warm);
+    identical = Some identical;
+    note = Some (Printf.sprintf "%d repeated line clusters x %d OPC iterations, cold vs cached" n iterations) }
+
+(* 3x3 dose x defocus process-window sweep over a placed block: dose
+   steps at one defocus share intensity (dose scales the threshold
+   only), so even the cold pass hits 2/3 of its conditions. *)
+let process_window_workload () =
+  let m = Lazy.force model in
+  let chip = Lazy.force small_chip in
+  let tile = if !Common.quick then 1000 else 1500 in
+  let nt = if !Common.quick then 2 else 4 in
+  let windows =
+    List.init nt (fun i ->
+        let x = i mod 2 * tile and y = i / 2 * tile in
+        G.Rect.make ~lx:x ~ly:y ~hx:(x + tile) ~hy:(y + tile))
+  in
+  let source w = Layout.Chip.shapes_in chip Layout.Layer.Poly w in
+  ignore (source (G.Rect.make ~lx:0 ~ly:0 ~hx:1 ~hy:1));
+  let conditions =
+    Litho.Condition.grid ~dose_range:(0.96, 1.04) ~dose_steps:3
+      ~defocus_range:(0.0, 120.0) ~defocus_steps:3
+  in
+  let run_all () =
+    List.concat_map
+      (fun c -> Litho.Aerial.simulate_tiles m c ~windows source)
+      conditions
+  in
+  Litho.Tile_cache.set_enabled true;
+  Litho.Tile_cache.clear Litho.Tile_cache.global;
+  (* Digest outside the timed region (Marshal+MD5 of every raster would
+     otherwise swamp the simulation cost being measured); compact first
+     so the warm pass is not charged for the cold pass's heap. *)
+  Gc.compact ();
+  let cold, t_cold = time run_all in
+  let cold = digest_rasters cold in
+  Gc.compact ();
+  let warm, t_warm = time run_all in
+  let warm = digest_rasters warm in
+  let tasks = List.length conditions * List.length windows in
+  { (base_record ~workload:"process_window_3x3" ~tasks ~wall_s:t_cold) with
+    wall_cached_s = Some t_warm;
+    speedup_cached = Some (t_cold /. t_warm);
+    identical = Some (String.equal cold warm);
+    note = Some "3x3 dose/defocus sweep, cold vs cached" }
+
+let cache_workloads () =
+  let was = Litho.Tile_cache.enabled () in
+  Fun.protect ~finally:(fun () -> Litho.Tile_cache.set_enabled was) @@ fun () ->
+  let records = [ opc_iterate_workload (); process_window_workload () ] in
+  Litho.Tile_cache.clear Litho.Tile_cache.global;
+  records
 
 (* Per-stage wall-time attribution out of the Obs metrics registry:
    every gauge named <stage>.wall_s plus its sibling .tasks/.calls
@@ -175,10 +292,13 @@ let json_of_records oc records stages =
   List.iteri
     (fun i r ->
       Printf.fprintf oc
-        "    {\"workload\": \"%s\", \"domains\": %d, \"tasks\": %d, \"wall_s\": %.6f%s%s}%s\n"
+        "    {\"workload\": \"%s\", \"domains\": %d, \"tasks\": %d, \"wall_s\": %.6f%s%s%s%s%s}%s\n"
         r.workload r.domains_used r.tasks r.wall_s
+        (field_opt ", \"wall_cached_s\": %.6f" r.wall_cached_s)
         (field_opt ", \"speedup_vs_1\": %.3f" r.speedup_vs_1)
+        (field_opt ", \"speedup_cached\": %.3f" r.speedup_cached)
         (field_opt ", \"identical\": %b" r.identical)
+        (field_opt ", \"note\": \"%s\"" r.note)
         (if i = List.length records - 1 then "" else ","))
     records;
   Printf.fprintf oc "  ],\n  \"stages\": [\n";
@@ -195,17 +315,26 @@ let json_of_records oc records stages =
 let run_parallel_workloads () =
   Format.printf "@.######## PERF: multicore aerial-image workload ########@.";
   let records = aerial_tiles_workload () in
+  Format.printf "@.######## PERF: litho tile-cache workloads ########@.";
+  let records = records @ cache_workloads () in
   List.iter
     (fun r ->
-      Format.printf "%-20s domains=%d tasks=%d wall=%.3fs%s%s@." r.workload
+      Format.printf "%-20s domains=%d tasks=%d wall=%.3fs%s%s%s%s%s@." r.workload
         r.domains_used r.tasks r.wall_s
+        (match r.wall_cached_s with
+        | None -> ""
+        | Some s -> Printf.sprintf " cached=%.3fs" s)
         (match r.speedup_vs_1 with
         | None -> ""
         | Some s -> Printf.sprintf " speedup=%.2fx" s)
+        (match r.speedup_cached with
+        | None -> ""
+        | Some s -> Printf.sprintf " cache_speedup=%.2fx" s)
         (match r.identical with
         | None -> ""
-        | Some true -> " (bit-identical to sequential)"
-        | Some false -> " (MISMATCH vs sequential!)"))
+        | Some true -> " (bit-identical)"
+        | Some false -> " (MISMATCH!)")
+        (match r.note with None -> "" | Some n -> " [" ^ n ^ "]"))
     records;
   (match List.filter_map (fun r -> r.identical) records with
   | [] -> ()
@@ -226,7 +355,8 @@ let run () =
   Format.printf "@.######## PERF: engine micro-benchmarks (bechamel) ########@.";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 2.0) ~stabilize:true () in
+  let quota = if !Common.quick then 0.5 else 2.0 in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~stabilize:true () in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"engines" tests) in
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
   let results = Analyze.merge ols instances results in

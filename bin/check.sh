@@ -24,4 +24,14 @@ dune exec bin/potx.exe -- run --bench c17 \
 dune exec bin/potx.exe -- obs-check \
   --trace "$obs_dir/trace.jsonl" --metrics "$obs_dir/metrics.jsonl"
 
+echo "== litho cache smoke (cached vs --no-cache byte-identical, hits > 0) =="
+# stdout only: a --metrics run prints its observability summary on stderr.
+dune exec bin/potx.exe -- run --bench c17 \
+  --metrics "$obs_dir/cache_metrics.jsonl" > "$obs_dir/cached.out" 2> /dev/null
+dune exec bin/potx.exe -- run --bench c17 --no-cache > "$obs_dir/uncached.out" 2> /dev/null
+cmp "$obs_dir/cached.out" "$obs_dir/uncached.out"
+dune exec bin/potx.exe -- obs-check --metrics "$obs_dir/cache_metrics.jsonl" \
+  --require-nonzero litho.cache.hits \
+  --require-nonzero opc.dirty_tiles
+
 echo "check.sh: OK"

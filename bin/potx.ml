@@ -55,7 +55,7 @@ let with_obs ~trace ~metrics f =
 
 (* ---- run ---- *)
 
-let run_flow bench opc seed dose defocus spread report domains trace metrics =
+let run_flow bench opc seed dose defocus spread report domains no_cache trace metrics =
   with_obs ~trace ~metrics @@ fun () ->
   let base = Timing_opc.Flow.default_config () in
   let opc_style =
@@ -71,7 +71,8 @@ let run_flow bench opc seed dose defocus spread report domains trace metrics =
       Timing_opc.Flow.seed;
       opc_style;
       condition = Litho.Condition.make ~dose ~defocus;
-      domains }
+      domains;
+      cache = base.Timing_opc.Flow.cache && not no_cache }
   in
   let netlist = netlist_of_name seed bench in
   Format.printf "flow: %s, OPC=%s, silicon %a, seed %d, domains %d@." bench opc
@@ -132,6 +133,15 @@ let domains_arg =
            $(b,POTX_DOMAINS) from the environment, else 1).  Results are \
            bit-identical for any value.")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the content-addressed litho tile cache for this run \
+           (results are bit-identical either way; this trades wall time for \
+           memory).  $(b,POTX_CACHE)=0 in the environment does the same.")
+
 let trace_arg =
   Arg.(
     value & opt string ""
@@ -155,7 +165,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_flow $ bench_arg $ opc_arg $ seed_arg $ dose_arg $ defocus_arg
-      $ spread_arg $ report_arg $ domains_arg $ trace_arg $ metrics_arg)
+      $ spread_arg $ report_arg $ domains_arg $ no_cache_arg $ trace_arg
+      $ metrics_arg)
 
 (* ---- cells ---- *)
 
@@ -242,12 +253,14 @@ let export_cmd =
 
 (* ---- cds ---- *)
 
-let export_cds bench seed path domains trace metrics =
+let export_cds bench seed path domains no_cache trace metrics =
   with_obs ~trace ~metrics @@ fun () ->
+  let base = Timing_opc.Flow.default_config () in
   let config =
-    { (Timing_opc.Flow.default_config ()) with
+    { base with
       Timing_opc.Flow.seed;
-      domains = resolve_domains domains }
+      domains = resolve_domains domains;
+      cache = base.Timing_opc.Flow.cache && not no_cache }
   in
   let r = Timing_opc.Flow.run config (netlist_of_name seed bench) in
   Cdex.Csv.save_file path r.Timing_opc.Flow.cds;
@@ -258,8 +271,8 @@ let cds_cmd =
   Cmd.v
     (Cmd.info "cds" ~doc:"run the flow and export the extracted gate CDs as CSV")
     Term.(
-      const export_cds $ bench_arg $ seed_arg $ out $ domains_arg $ trace_arg
-      $ metrics_arg)
+      const export_cds $ bench_arg $ seed_arg $ out $ domains_arg $ no_cache_arg
+      $ trace_arg $ metrics_arg)
 
 (* ---- obs-check ---- *)
 
@@ -275,7 +288,14 @@ let contains ~needle hay =
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
   go 0
 
-let obs_check trace metrics min_metrics =
+(* The litho acceleration layer must be visible in any captured
+   metrics file: the instruments are registered at module load, so a
+   flow binary that fails to surface them has lost its wiring. *)
+let accel_metrics =
+  [ "litho.cache.hits"; "litho.cache.misses"; "litho.cache.evictions";
+    "litho.cache.bytes"; "opc.dirty_tiles"; "opc.clean_tiles" ]
+
+let obs_check trace metrics min_metrics require_nonzero =
   let problems = ref [] in
   let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   let parse_lines what path =
@@ -352,9 +372,31 @@ let obs_check trace metrics min_metrics =
     if List.length names < min_metrics then
       problem "%s: only %d distinct metric names (want >= %d)" metrics
         (List.length names) min_metrics;
+    List.iter
+      (fun required ->
+        if not (List.mem required names) then
+          problem "%s: missing metric %S" metrics required)
+      accel_metrics;
+    let value_of name =
+      List.find_map
+        (fun j ->
+          match (Obs.Json.member "name" j, Obs.Json.member "value" j) with
+          | Some (Obs.Json.Str n), Some (Obs.Json.Num v) when n = name -> Some v
+          | _ -> None)
+        ms
+    in
+    List.iter
+      (fun name ->
+        match value_of name with
+        | Some v when v > 0.0 -> ()
+        | Some v -> problem "%s: metric %S is %g, want > 0" metrics name v
+        | None -> problem "%s: metric %S has no value to test" metrics name)
+      require_nonzero;
     Format.printf "obs-check: %s: %d metrics, %d distinct names@." metrics
       (List.length ms) (List.length names)
-  end;
+  end
+  else if require_nonzero <> [] then
+    problem "--require-nonzero needs --metrics";
   match List.rev !problems with
   | [] -> Format.printf "obs-check: OK@."
   | ps ->
@@ -375,10 +417,19 @@ let obs_check_cmd =
       value & opt int 10
       & info [ "min-metrics" ] ~doc:"Minimum distinct metric names required.")
   in
+  let require_nonzero =
+    Arg.(
+      value & opt_all string []
+      & info [ "require-nonzero" ]
+          ~doc:
+            "Fail unless the named counter/gauge has a value > 0 in the \
+             metrics file (repeatable).  bin/check.sh uses this to assert the \
+             tile cache actually hit." ~docv:"NAME")
+  in
   Cmd.v
     (Cmd.info "obs-check"
        ~doc:"validate trace/metrics JSONL produced by --trace/--metrics")
-    Term.(const obs_check $ trace $ metrics $ min_metrics)
+    Term.(const obs_check $ trace $ metrics $ min_metrics $ require_nonzero)
 
 let () =
   let doc = "post-OPC critical-dimension extraction for advanced timing analysis" in

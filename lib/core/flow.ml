@@ -13,6 +13,7 @@ type config = {
   seed : int;
   slices : int;
   domains : int;
+  cache : bool;
 }
 
 let default_config () =
@@ -33,6 +34,7 @@ let default_config () =
     seed = 42;
     slices = 7;
     domains = 1;
+    cache = Litho.Tile_cache.env_enabled ();
   }
 
 (* Worker pool for the extraction hot path; [None] when the config
@@ -180,6 +182,7 @@ let run config netlist =
         ("domains", string_of_int config.domains) ])
   @@ fun () ->
   Obs.Metrics.incr m_runs;
+  Litho.Tile_cache.set_enabled config.cache;
   let litho = Obs.Span.with_ ~name:"flow.litho_model" (fun () -> litho_model config) in
   let chip = place config netlist in
   let loads = Circuit.Loads.of_netlist config.env netlist in
@@ -251,6 +254,7 @@ let run_selective r ~selected =
     ~attrs:(fun () -> [ ("selected", string_of_int (List.length selected)) ])
   @@ fun () ->
   let config = r.config in
+  Litho.Tile_cache.set_enabled config.cache;
   let litho = litho_model config in
   let mask, opc_stats =
     Obs.Span.with_ ~name:"flow.opc" (fun () ->

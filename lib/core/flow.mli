@@ -29,6 +29,13 @@ type config = {
       (** worker domains for the extraction hot path (default 1 =
           sequential); results are bit-identical for any value — see
           [Exec.Pool] *)
+  cache : bool;
+      (** content-addressed litho tile cache ([Litho.Tile_cache]):
+          repeated cell patterns and dose-sweep conditions reuse stored
+          aerial images.  Hits are bit-identical to fresh simulations,
+          so this changes wall time only.  [run]/[run_selective] apply
+          it process-wide for the duration of the run.  Default follows
+          the [POTX_CACHE] environment variable (unset = on) *)
 }
 
 val default_config : unit -> config

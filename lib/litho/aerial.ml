@@ -4,17 +4,73 @@ let m_simulations = Obs.Metrics.counter "litho.simulations"
 
 let m_tiles = Obs.Metrics.counter "litho.tiles"
 
-let mask_raster (model : Model.t) ~window polygons =
-  let raster =
-    Raster.of_window ~window ~halo:model.Model.halo ~step:model.Model.step
-  in
-  List.iter (Raster.paint_polygon raster) polygons;
+(* ---- content-addressed simulation keys ---------------------------
+
+   A simulated tile is a pure function of (mask content inside the
+   raster extent, raster geometry, defocus-adjusted kernel stack).
+   Expressing the mask content as the ordered list of polygon
+   decomposition rectangles clipped to the extent and *translated to
+   the raster origin* makes the key translation-invariant, so repeated
+   cell rows hit anywhere on the chip.  Dose is deliberately absent:
+   it scales only [Model.printed_threshold], never the intensity, so a
+   dose sweep at fixed defocus is a single cache entry. *)
+
+(* Pixel extent of a raster in layout nm, rounded outward.  Clipping a
+   mask rectangle to this extent changes no painted pixel: boundary
+   pixels weight coverage by min/max against the pixel edge, and the
+   outward-rounded bound projects at or beyond the last pixel edge.
+   The clipped rect list therefore *is* the painted content. *)
+let paint_extent raster =
+  let o = Raster.origin raster in
+  let span n = int_of_float (Float.ceil (float_of_int n *. Raster.step raster)) in
+  G.Rect.make ~lx:o.G.Point.x ~ly:o.G.Point.y
+    ~hx:(o.G.Point.x + span (Raster.nx raster))
+    ~hy:(o.G.Point.y + span (Raster.ny raster))
+
+let clipped_rects raster polygons =
+  let extent = paint_extent raster in
+  List.concat_map
+    (fun p ->
+      List.filter_map (G.Rect.inter extent)
+        (G.Region.to_rects (G.Region.of_polygon p)))
+    polygons
+
+let cache_key (model : Model.t) (condition : Condition.t) raster rects =
+  let b = Buffer.create 256 in
+  let o = Raster.origin raster in
+  Buffer.add_string b
+    (Printf.sprintf "v1|%dx%d|%h|" (Raster.nx raster) (Raster.ny raster)
+       (Raster.step raster));
+  List.iter
+    (fun (k : Model.kernel) ->
+      Buffer.add_string b
+        (Printf.sprintf "k%h,%h|"
+           (Model.effective_sigma model k ~defocus:condition.Condition.defocus)
+           k.Model.weight))
+    model.Model.kernels;
+  List.iter
+    (fun (r : G.Rect.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "r%d,%d,%d,%d|"
+           (r.G.Rect.lx - o.G.Point.x) (r.G.Rect.ly - o.G.Point.y)
+           (r.G.Rect.hx - o.G.Point.x) (r.G.Rect.hy - o.G.Point.y)))
+    rects;
+  Buffer.contents b
+
+let paint_mask raster rects =
+  List.iter (Raster.paint_rect raster) rects;
   (* Clamp: overlapping input shapes (e.g. a strap joining a stripe)
      must not double-expose the mask. *)
   let data = Raster.unsafe_data raster in
   for i = 0 to Array.length data - 1 do
     if data.(i) > 1.0 then data.(i) <- 1.0
-  done;
+  done
+
+let mask_raster (model : Model.t) ~window polygons =
+  let raster =
+    Raster.of_window ~window ~halo:model.Model.halo ~step:model.Model.step
+  in
+  paint_mask raster (clipped_rects raster polygons);
   raster
 
 let simulate ?pool (model : Model.t) (condition : Condition.t) ~window polygons =
@@ -22,27 +78,40 @@ let simulate ?pool (model : Model.t) (condition : Condition.t) ~window polygons 
     ~attrs:(fun () -> [ ("polygons", string_of_int (List.length polygons)) ])
   @@ fun () ->
   Obs.Metrics.incr m_simulations;
-  let mask = mask_raster model ~window polygons in
-  let intensity = Raster.copy mask in
-  Raster.fill intensity 0.0;
-  let blur (k : Model.kernel) =
-    let sigma = Model.effective_sigma model k ~defocus:condition.Condition.defocus in
-    let blurred = Raster.copy mask in
-    Blur.gaussian blurred ~sigma_px:(sigma /. model.Model.step);
-    blurred
+  let mask =
+    Raster.of_window ~window ~halo:model.Model.halo ~step:model.Model.step
   in
-  (* The per-kernel convolutions are independent; the blend below runs
-     in kernel order on the calling domain, so the accumulated image is
-     bit-identical for any worker count. *)
-  let blurred =
-    match pool with
-    | None -> List.map blur model.Model.kernels
-    | Some p -> Exec.Pool.map_list ~label:"aerial.kernels" p blur model.Model.kernels
+  let rects = clipped_rects mask polygons in
+  let key =
+    if Tile_cache.enabled () then Some (cache_key model condition mask rects)
+    else None
   in
-  List.iter2
-    (fun (k : Model.kernel) b -> Raster.blend ~dst:intensity ~src:b ~w:k.Model.weight)
-    model.Model.kernels blurred;
-  intensity
+  match
+    Option.bind key (Tile_cache.find Tile_cache.global ~origin:(Raster.origin mask))
+  with
+  | Some intensity -> intensity
+  | None ->
+      paint_mask mask rects;
+      let intensity = Raster.like mask in
+      let blur (k : Model.kernel) =
+        let sigma = Model.effective_sigma model k ~defocus:condition.Condition.defocus in
+        let blurred = Raster.copy mask in
+        Blur.gaussian blurred ~sigma_px:(sigma /. model.Model.step);
+        blurred
+      in
+      (* The per-kernel convolutions are independent; the blend below runs
+         in kernel order on the calling domain, so the accumulated image is
+         bit-identical for any worker count. *)
+      let blurred =
+        match pool with
+        | None -> List.map blur model.Model.kernels
+        | Some p -> Exec.Pool.map_list ~label:"aerial.kernels" p blur model.Model.kernels
+      in
+      List.iter2
+        (fun (k : Model.kernel) b -> Raster.blend ~dst:intensity ~src:b ~w:k.Model.weight)
+        model.Model.kernels blurred;
+      Option.iter (fun k -> Tile_cache.store Tile_cache.global k intensity) key;
+      intensity
 
 let simulate_tiles ?pool (model : Model.t) (condition : Condition.t) ~windows
     polygons_of =

@@ -9,7 +9,17 @@
     When [pool] is given, the per-kernel convolutions run on its
     domains; the weighted blend is accumulated in kernel order on the
     calling domain, so the image is bit-identical for any worker
-    count. *)
+    count.
+
+    When {!Tile_cache.enabled}, every simulation first consults the
+    content-addressed {!Tile_cache.global}: the key is the clipped
+    mask geometry relative to the raster origin plus the raster
+    geometry and the defocus-adjusted kernel stack, so repeated cell
+    patterns hit at any placement and a dose sweep at fixed defocus
+    hits after its first condition (dose scales the threshold, not the
+    intensity).  Hits return a private copy and are bit-identical to a
+    fresh simulation by construction, so enabling the cache never
+    changes results — only wall time. *)
 
 val simulate :
   ?pool:Exec.Pool.t ->

@@ -35,6 +35,10 @@ let fill t v = Array.fill t.data 0 (Array.length t.data) v
 
 let copy t = { t with data = Array.copy t.data }
 
+let like t = { t with data = Array.make (Array.length t.data) 0.0 }
+
+let relocate t ~origin = { t with origin }
+
 let blend ~dst ~src ~w =
   if dst.nx <> src.nx || dst.ny <> src.ny then
     invalid_arg "Raster.blend: geometry mismatch";

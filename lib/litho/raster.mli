@@ -30,6 +30,16 @@ val fill : t -> float -> unit
 
 val copy : t -> t
 
+(** [like t] is a fresh zero raster with [t]'s geometry (origin, step,
+    nx, ny) — the allocation pattern for accumulation buffers. *)
+val like : t -> t
+
+(** [relocate t ~origin] views the same pixel data at a different
+    layout origin.  The data array is shared with [t]; callers that
+    mutate must [copy] first.  Used by {!Tile_cache} to re-home a
+    content-addressed (translation-invariant) entry at a hit site. *)
+val relocate : t -> origin:Geometry.Point.t -> t
+
 (** Pointwise [dst := dst + w * src]; rasters must share geometry. *)
 val blend : dst:t -> src:t -> w:float -> unit
 

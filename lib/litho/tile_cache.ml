@@ -1,0 +1,114 @@
+let m_hits = Obs.Metrics.counter "litho.cache.hits"
+
+let m_misses = Obs.Metrics.counter "litho.cache.misses"
+
+let m_evictions = Obs.Metrics.counter "litho.cache.evictions"
+
+let m_bytes = Obs.Metrics.gauge "litho.cache.bytes"
+
+type entry = { raster : Raster.t; size : int; mutable last_use : int }
+
+type t = {
+  lock : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  budget : int;
+  mutable used : int;
+  mutable tick : int;  (** LRU clock: bumped on every find/store *)
+}
+
+let create ?(max_bytes = 256 * 1024 * 1024) () =
+  if max_bytes <= 0 then invalid_arg "Tile_cache.create: max_bytes must be positive";
+  { lock = Mutex.create (); table = Hashtbl.create 64; budget = max_bytes;
+    used = 0; tick = 0 }
+
+let truthy s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "0" | "false" | "off" | "no" -> false
+  | _ -> true
+
+let env_enabled ?(var = "POTX_CACHE") ?(default = true) () =
+  match Sys.getenv_opt var with None -> default | Some s -> truthy s
+
+let switch = Atomic.make (env_enabled ())
+
+let enabled () = Atomic.get switch
+
+let set_enabled v = Atomic.set switch v
+
+let global =
+  let mib =
+    match Option.bind (Sys.getenv_opt "POTX_CACHE_MB") int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> 256
+  in
+  create ~max_bytes:(mib * 1024 * 1024) ()
+
+(* The bytes gauge tracks the global cache only; short-lived test
+   caches must not fight over one process-wide instrument. *)
+let publish_bytes t = if t == global then Obs.Metrics.set_gauge m_bytes (float_of_int t.used)
+
+let entry_size key raster =
+  (* Dominated by the pixel array (8 bytes per float); the key and
+     boxing overhead are charged approximately. *)
+  (8 * Raster.nx raster * Raster.ny raster) + String.length key + 64
+
+let find t ~origin key =
+  if not (enabled ()) then None
+  else
+    Mutex.protect t.lock @@ fun () ->
+    match Hashtbl.find_opt t.table key with
+    | Some e ->
+        t.tick <- t.tick + 1;
+        e.last_use <- t.tick;
+        Obs.Metrics.incr m_hits;
+        Some (Raster.copy (Raster.relocate e.raster ~origin))
+    | None ->
+        Obs.Metrics.incr m_misses;
+        None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.last_use <= e.last_use -> acc
+        | _ -> Some (key, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, e) ->
+      Hashtbl.remove t.table key;
+      t.used <- t.used - e.size;
+      Obs.Metrics.incr m_evictions
+
+let store t key raster =
+  if enabled () then
+    Mutex.protect t.lock @@ fun () ->
+    if not (Hashtbl.mem t.table key) then begin
+      let size = entry_size key raster in
+      if size <= t.budget then begin
+        t.tick <- t.tick + 1;
+        Hashtbl.add t.table key
+          { raster = Raster.copy raster; size; last_use = t.tick };
+        t.used <- t.used + size;
+        (* The newest entry carries the highest tick, so the loop never
+           evicts what it just inserted while anything older remains. *)
+        while t.used > t.budget do
+          evict_lru t
+        done;
+        publish_bytes t
+      end
+    end
+
+let clear t =
+  Mutex.protect t.lock @@ fun () ->
+  Hashtbl.reset t.table;
+  t.used <- 0;
+  publish_bytes t
+
+let bytes t = Mutex.protect t.lock (fun () -> t.used)
+
+let entries t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+
+let max_bytes t = t.budget

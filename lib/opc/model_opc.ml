@@ -10,6 +10,8 @@ type config = {
   search : float;
   mask_grid : int;
   min_mask_space : int;
+  incremental : bool;
+  sim_tile : int;
 }
 
 let default_config (tech : Layout.Tech.t) =
@@ -23,6 +25,8 @@ let default_config (tech : Layout.Tech.t) =
     search = 120.0;
     mask_grid = 1;
     min_mask_space = 140;
+    incremental = true;
+    sim_tile = 3000;
   }
 
 type stats = {
@@ -46,6 +50,10 @@ let m_epe =
   Obs.Metrics.histogram
     ~edges:[| 0.1; 0.2; 0.5; 1.0; 2.0; 5.0; 10.0; 20.0 |]
     "opc.max_epe_nm"
+
+let m_dirty = Obs.Metrics.counter "opc.dirty_tiles"
+
+let m_clean = Obs.Metrics.counter "opc.clean_tiles"
 
 let correct_untraced (model : Litho.Model.t) config ~targets ~context =
   match targets with
@@ -115,12 +123,87 @@ let correct_untraced (model : Litho.Model.t) config ~targets ~context =
         G.Rect.hull_of_list (List.map G.Polygon.bbox targets)
       in
       let threshold = model.Litho.Model.threshold in
+      (* Dirty-tile incremental re-simulation: the correction window is
+         split into a fixed grid of [sim_tile] tiles, each simulated
+         independently with the model halo (the simulate_tiles halo
+         discipline).  Between passes only a handful of fragments move,
+         so a tile is re-simulated only when a changed mask polygon can
+         reach its raster extent; clean tiles keep their raster, which
+         deterministic recomputation would reproduce bit-for-bit.  With
+         [incremental = false] every tile is recomputed every pass over
+         the *same* grid, so the two modes are byte-identical. *)
+      let tw, th =
+        if config.sim_tile <= 0 then
+          (max 1 (G.Rect.width window), max 1 (G.Rect.height window))
+        else (config.sim_tile, config.sim_tile)
+      in
+      let ntx = max 1 ((G.Rect.width window + tw - 1) / tw) in
+      let nty = max 1 ((G.Rect.height window + th - 1) / th) in
+      let tiles =
+        Array.init (ntx * nty) (fun idx ->
+            let ix = idx mod ntx and iy = idx / ntx in
+            G.Rect.make
+              ~lx:(window.G.Rect.lx + (ix * tw))
+              ~ly:(window.G.Rect.ly + (iy * th))
+              ~hx:(min window.G.Rect.hx (window.G.Rect.lx + ((ix + 1) * tw)))
+              ~hy:(min window.G.Rect.hy (window.G.Rect.ly + ((iy + 1) * th))))
+      in
+      (* Control sites sit on drawn edges inside the target hull, so the
+         clamp only absorbs sites on the window's high boundary. *)
+      let tile_of (c : G.Point.t) =
+        let ix = min (ntx - 1) (max 0 ((c.G.Point.x - window.G.Rect.lx) / tw)) in
+        let iy = min (nty - 1) (max 0 ((c.G.Point.y - window.G.Rect.ly) / th)) in
+        (iy * ntx) + ix
+      in
+      (* A change is visible to a tile iff it overlaps the tile's raster
+         extent: tile + halo, rounded out to whole pixels (the raster
+         rounds its span up, so err outward — an over-approximation
+         costs a recompute, an under-approximation would corrupt). *)
+      let reach =
+        model.Litho.Model.halo
+        + (2 * int_of_float (Float.ceil model.Litho.Model.step)) + 2
+      in
+      let rasters = Array.make (ntx * nty) None in
+      let prev_masks = Array.make (List.length fragmented) None in
       let measure_pass () =
-        let mask_polys = List.map Fragment.to_mask fragmented @ context in
-        let intensity =
-          Litho.Aerial.simulate model Litho.Condition.nominal ~window mask_polys
+        let masks = List.map Fragment.to_mask fragmented in
+        let mask_polys = masks @ context in
+        let moved =
+          List.concat
+            (List.mapi
+               (fun i m ->
+                 match prev_masks.(i) with
+                 | Some old when G.Polygon.equal old m -> []
+                 | Some old ->
+                     prev_masks.(i) <- Some m;
+                     [ G.Rect.hull (G.Polygon.bbox old) (G.Polygon.bbox m) ]
+                 | None ->
+                     prev_masks.(i) <- Some m;
+                     [ G.Polygon.bbox m ])
+               masks)
         in
-        (* EPE of the printed contour against the *drawn* control site. *)
+        Array.iteri
+          (fun idx r ->
+            let stale =
+              r = None || (not config.incremental)
+              || List.exists (G.Rect.touches (G.Rect.inflate tiles.(idx) reach)) moved
+            in
+            if stale then begin
+              Obs.Metrics.incr m_dirty;
+              rasters.(idx) <-
+                Some
+                  (Litho.Aerial.simulate model Litho.Condition.nominal
+                     ~window:tiles.(idx) mask_polys)
+            end
+            else Obs.Metrics.incr m_clean)
+          rasters;
+        let intensity_at c =
+          match rasters.(tile_of c) with
+          | Some r -> r
+          | None -> assert false
+        in
+        (* EPE of the printed contour against the *drawn* control site,
+           sampled from the stitched tile set. *)
         let epes =
           List.map
             (fun f ->
@@ -131,7 +214,7 @@ let correct_untraced (model : Litho.Model.t) config ~targets ~context =
                     let c = frag.Fragment.control and n = frag.Fragment.normal in
                     Some
                       ( frag,
-                        Litho.Metrology.epe intensity ~threshold
+                        Litho.Metrology.epe (intensity_at c) ~threshold
                           ~x:(float_of_int c.G.Point.x) ~y:(float_of_int c.G.Point.y)
                           ~nx:(float_of_int n.G.Point.x) ~ny:(float_of_int n.G.Point.y)
                           ~search:config.search ))

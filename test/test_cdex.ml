@@ -192,6 +192,35 @@ let test_csv_roundtrip () =
       checkb "kind" true (a.Cdex.Gate_cd.gate.Layout.Chip.kind = b.Cdex.Gate_cd.gate.Layout.Chip.kind))
     sample_cds back
 
+let test_csv_corner_identity () =
+  (* Write -> read structural identity on records annotated at every
+     process-window corner.  The CD and dose values are exactly
+     representable at the writer's %.4f precision (dyadic fractions),
+     so the reloaded records must equal the originals bit for bit --
+     no tolerance. *)
+  let corners =
+    Litho.Condition.corners ~dose_range:(0.95, 1.05) ~defocus_range:(0.0, 150.0)
+  in
+  let records =
+    List.mapi
+      (fun i condition ->
+        {
+          Cdex.Gate_cd.gate =
+            { fake_gate with Layout.Chip.inst = Printf.sprintf "u%d" i };
+          condition;
+          cds = [ 88.125; 90.5; 91.0625 ];
+          slices_requested = 3;
+          printed = true;
+        })
+      corners
+  in
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Cdex.Csv.write ppf records;
+  Format.pp_print_flush ppf ();
+  let back = Cdex.Csv.read (Buffer.contents buf) in
+  checkb "corner records identical after round-trip" true (back = records)
+
 let test_csv_rejects_bad_header () =
   checkb "bad header" true
     (try ignore (Cdex.Csv.read "not,a,header\n"); false with Failure _ -> true)
@@ -240,6 +269,7 @@ let () =
       ( "csv",
         [
           Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "corner identity" `Quick test_csv_corner_identity;
           Alcotest.test_case "bad header" `Quick test_csv_rejects_bad_header;
           Alcotest.test_case "annotation equivalence" `Quick test_csv_annotation_equivalence;
         ] );
