@@ -34,4 +34,24 @@ dune exec bin/potx.exe -- obs-check --metrics "$obs_dir/cache_metrics.jsonl" \
   --require-nonzero litho.cache.hits \
   --require-nonzero opc.dirty_tiles
 
+echo "== fault+retry smoke (injected faults absorbed, output byte-identical) =="
+dune exec bin/potx.exe -- run --bench c17 \
+  --faults 'litho.simulate=fail2;sta.analyze=fail1;cdex.annotate=fail1' \
+  --retries 3 --metrics "$obs_dir/fault_metrics.jsonl" \
+  > "$obs_dir/faulted.out" 2> /dev/null
+cmp "$obs_dir/cached.out" "$obs_dir/faulted.out"
+dune exec bin/potx.exe -- obs-check --metrics "$obs_dir/fault_metrics.jsonl" \
+  --require-nonzero fault.injected \
+  --require-nonzero exec.retries
+
+echo "== checkpoint/resume smoke (resume loads stages, output byte-identical) =="
+dune exec bin/potx.exe -- run --bench c17 --checkpoint "$obs_dir/ckpt" \
+  > "$obs_dir/ckpt1.out" 2> /dev/null
+dune exec bin/potx.exe -- run --bench c17 --checkpoint "$obs_dir/ckpt" --resume \
+  --metrics "$obs_dir/ckpt_metrics.jsonl" > "$obs_dir/ckpt2.out" 2> /dev/null
+cmp "$obs_dir/ckpt1.out" "$obs_dir/ckpt2.out"
+cmp "$obs_dir/cached.out" "$obs_dir/ckpt2.out"
+dune exec bin/potx.exe -- obs-check --metrics "$obs_dir/ckpt_metrics.jsonl" \
+  --require-nonzero flow.checkpoint.loaded
+
 echo "check.sh: OK"

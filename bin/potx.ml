@@ -53,10 +53,23 @@ let with_obs ~trace ~metrics f =
           Format.eprintf "wrote metrics %s@." path)
     f
 
+(* Fault plan: the --faults flag when non-empty, else POTX_FAULTS.
+   Parse errors are fatal — a silently ignored fault spec would make a
+   chaos run indistinguishable from a clean one. *)
+let resolve_faults flag =
+  Option.map
+    (fun s ->
+      match Fault.parse s with
+      | Ok plan -> plan
+      | Error e -> failwith (Printf.sprintf "bad fault spec %S: %s" s e))
+    (resolve_sink flag "POTX_FAULTS")
+
 (* ---- run ---- *)
 
-let run_flow bench opc seed dose defocus spread report domains no_cache trace metrics =
+let run_flow bench opc seed dose defocus spread report domains no_cache faults
+    retries checkpoint_dir resume trace metrics =
   with_obs ~trace ~metrics @@ fun () ->
+  Fault.set_plan (resolve_faults faults);
   let base = Timing_opc.Flow.default_config () in
   let opc_style =
     match opc with
@@ -72,7 +85,11 @@ let run_flow bench opc seed dose defocus spread report domains no_cache trace me
       opc_style;
       condition = Litho.Condition.make ~dose ~defocus;
       domains;
-      cache = base.Timing_opc.Flow.cache && not no_cache }
+      cache = base.Timing_opc.Flow.cache && not no_cache;
+      retry = (if retries > 0 then Fault.retrying retries else Fault.env_retry ());
+      checkpoint =
+        (if checkpoint_dir = "" then None
+         else Some (Timing_opc.Checkpoint.create ~dir:checkpoint_dir ~resume)) }
   in
   let netlist = netlist_of_name seed bench in
   Format.printf "flow: %s, OPC=%s, silicon %a, seed %d, domains %d@." bench opc
@@ -142,6 +159,44 @@ let no_cache_arg =
            (results are bit-identical either way; this trades wall time for \
            memory).  $(b,POTX_CACHE)=0 in the environment does the same.")
 
+let faults_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "faults" ]
+        ~doc:
+          "Deterministic fault-injection plan, e.g. \
+           $(b,litho.simulate=fail2;sta.*=p0.1;seed=7) (see lib/fault for the \
+           grammar).  Empty = take $(b,POTX_FAULTS) from the environment, \
+           else no faults are injected." ~docv:"SPEC")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ]
+        ~doc:
+          "Bounded-backoff retries per flow stage and extraction task (0 = \
+           take $(b,POTX_RETRIES) from the environment, else none).  A run \
+           whose transient faults are all absorbed by retries is \
+           byte-identical to a fault-free run.")
+
+let checkpoint_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "checkpoint" ]
+        ~doc:
+          "Write stage checkpoints (post-OPC mask geometry, extracted gate \
+           CDs) into $(docv), keyed by a content hash of each stage's inputs."
+        ~docv:"DIR")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "With $(b,--checkpoint), load matching stage checkpoints instead of \
+           recomputing; stale or tampered checkpoints are rejected and the \
+           stage recomputes.  A resumed run is byte-identical to a clean one.")
+
 let trace_arg =
   Arg.(
     value & opt string ""
@@ -165,8 +220,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_flow $ bench_arg $ opc_arg $ seed_arg $ dose_arg $ defocus_arg
-      $ spread_arg $ report_arg $ domains_arg $ no_cache_arg $ trace_arg
-      $ metrics_arg)
+      $ spread_arg $ report_arg $ domains_arg $ no_cache_arg $ faults_arg
+      $ retries_arg $ checkpoint_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 (* ---- cells ---- *)
 
@@ -295,6 +350,13 @@ let accel_metrics =
   [ "litho.cache.hits"; "litho.cache.misses"; "litho.cache.evictions";
     "litho.cache.bytes"; "opc.dirty_tiles"; "opc.clean_tiles" ]
 
+(* Likewise the robustness layer: fault points, retry supervision and
+   the checkpoint store all register their counters at module load. *)
+let robust_metrics =
+  [ "fault.injected"; "exec.retries"; "flow.degraded_gates";
+    "flow.checkpoint.saved"; "flow.checkpoint.loaded";
+    "flow.checkpoint.rejected" ]
+
 let obs_check trace metrics min_metrics require_nonzero =
   let problems = ref [] in
   let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
@@ -376,7 +438,7 @@ let obs_check trace metrics min_metrics require_nonzero =
       (fun required ->
         if not (List.mem required names) then
           problem "%s: missing metric %S" metrics required)
-      accel_metrics;
+      (accel_metrics @ robust_metrics);
     let value_of name =
       List.find_map
         (fun j ->

@@ -1,0 +1,94 @@
+type t = { dir : string; resume : bool }
+
+let m_saved = Obs.Metrics.counter "flow.checkpoint.saved"
+
+let m_loaded = Obs.Metrics.counter "flow.checkpoint.loaded"
+
+let m_rejected = Obs.Metrics.counter "flow.checkpoint.rejected"
+
+let rec ensure_dir d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir ~resume =
+  ensure_dir dir;
+  { dir; resume }
+
+let payload_path t name = Filename.concat t.dir (name ^ ".payload")
+
+let meta_path t name = Filename.concat t.dir (name ^ ".meta.json")
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+  end
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Resume-time load.  Absent files are a plain miss; present but
+   mismatched/corrupt ones count as a rejection so tampering and stale
+   inputs are visible in the metrics. *)
+let try_load t ~name ~key ~decode =
+  match (read_file (meta_path t name), read_file (payload_path t name)) with
+  | None, None -> None
+  | meta_text, payload -> (
+      let reject () =
+        Obs.Metrics.incr m_rejected;
+        None
+      in
+      match (meta_text, payload) with
+      | Some meta_text, Some payload -> (
+          match Obs.Json.parse (String.trim meta_text) with
+          | Error _ -> reject ()
+          | Ok meta ->
+              let str k = Option.bind (Obs.Json.member k meta) Obs.Json.to_str in
+              if
+                str "stage" = Some name
+                && str "key" = Some key
+                && str "payload_md5"
+                   = Some (Digest.to_hex (Digest.string payload))
+              then
+                match decode ~payload ~meta with
+                | Some v ->
+                    Obs.Metrics.incr m_loaded;
+                    Some v
+                | None -> reject ()
+                | exception _ -> reject ()
+              else reject ())
+      | _ -> reject ())
+
+let save t ~name ~key ~payload ~extra =
+  write_file (payload_path t name) payload;
+  let meta =
+    Obs.Json.Obj
+      ([
+         ("stage", Obs.Json.Str name);
+         ("key", Obs.Json.Str key);
+         ("payload_md5", Obs.Json.Str (Digest.to_hex (Digest.string payload)));
+       ]
+      @ extra)
+  in
+  write_file (meta_path t name) (Obs.Json.to_string meta ^ "\n");
+  Obs.Metrics.incr m_saved
+
+let stage ckpt ~name ~key ~encode ~decode compute =
+  match ckpt with
+  | None -> compute ()
+  | Some t -> (
+      match if t.resume then try_load t ~name ~key ~decode else None with
+      | Some v -> v
+      | None ->
+          let v = compute () in
+          let payload, extra = encode v in
+          save t ~name ~key ~payload ~extra;
+          v)

@@ -14,6 +14,8 @@ type config = {
   slices : int;
   domains : int;
   cache : bool;
+  retry : Fault.retry;
+  checkpoint : Checkpoint.t option;
 }
 
 let default_config () =
@@ -35,7 +37,31 @@ let default_config () =
     slices = 7;
     domains = 1;
     cache = Litho.Tile_cache.env_enabled ();
+    retry = Fault.no_retry;
+    checkpoint = None;
   }
+
+(* Span + bounded-retry supervision for one flow stage.  The span's
+   [retries] attribute reads the counter when the span closes, so it
+   reports the attempts actually taken.  An optional [checkpoint]
+   (stage name, input key, codec) is consulted outside the retry loop:
+   a loaded stage takes no attempts, a computed one is saved once. *)
+let supervised ~name config ?checkpoint f =
+  let retries = ref 0 in
+  let body () =
+    Fault.with_retry ~on_retry:(fun _ -> incr retries) config.retry f
+  in
+  Obs.Span.with_ ~name
+    ~attrs:(fun () -> [ ("retries", string_of_int !retries) ])
+    (fun () ->
+      match (checkpoint, config.checkpoint) with
+      | None, _ | _, None -> body ()
+      | Some (cname, key, encode, decode), Some _ ->
+          (* [key] is a thunk: content-hashing the stage inputs means
+             serialising the chip and mask, which plain runs must not
+             pay for. *)
+          Checkpoint.stage config.checkpoint ~name:cname ~key:(key ())
+            ~encode ~decode body)
 
 (* Worker pool for the extraction hot path; [None] when the config
    asks for a single domain, keeping call sites on the sequential
@@ -130,6 +156,122 @@ let opc_of_config config litho chip =
       Opc.Chip_opc.correct litho (Opc.Chip_opc.Model config.opc_config) chip
         ~tile:config.tile
 
+(* --- checkpoint keys and codecs ---------------------------------- *)
+
+(* [%h] hex floats round-trip bit-for-bit through [float_of_string];
+   they appear both in content-hash keys and in meta fields. *)
+let hex = Printf.sprintf "%h"
+
+let with_buffer f =
+  let b = Buffer.create 65536 in
+  let ppf = Format.formatter_of_buffer b in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents b
+
+let chip_digest chip =
+  Digest.to_hex (Digest.string (with_buffer (fun ppf -> Layout.Io.write_chip ppf chip)))
+
+(* The mask as Io shape lines.  write_shapes preserves polygon order
+   and Mask.of_polygons preserves list order, so a reloaded mask
+   answers window queries identically to the checkpointed one. *)
+let mask_text mask =
+  with_buffer (fun ppf ->
+      Layout.Io.write_shapes ppf
+        (List.map (fun p -> (Layout.Layer.Poly, p)) (Opc.Mask.polygons mask)))
+
+let opc_style_tag = function
+  | No_opc -> "none"
+  | Rule_opc -> "rule"
+  | Model_opc -> "model"
+
+(* Content hash of everything the OPC stage's output depends on.
+   Domain count and the litho tile cache are deliberately excluded:
+   results are bit-identical across both (see Exec.Pool and
+   Litho.Tile_cache), so a checkpoint written at one domain count
+   resumes cleanly at another. *)
+let opc_key config ~extra chip =
+  let oc = config.opc_config in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            config.tech.Layout.Tech.name;
+            opc_style_tag config.opc_style;
+            string_of_int oc.Opc.Model_opc.iterations;
+            hex oc.Opc.Model_opc.damping;
+            string_of_int oc.Opc.Model_opc.max_len;
+            string_of_int oc.Opc.Model_opc.line_end_max;
+            string_of_int oc.Opc.Model_opc.max_displacement;
+            hex oc.Opc.Model_opc.tolerance;
+            hex oc.Opc.Model_opc.search;
+            string_of_int oc.Opc.Model_opc.mask_grid;
+            string_of_int oc.Opc.Model_opc.min_mask_space;
+            string_of_bool oc.Opc.Model_opc.incremental;
+            string_of_int oc.Opc.Model_opc.sim_tile;
+            string_of_int config.tile;
+            extra;
+            chip_digest chip;
+          ]))
+
+(* OPC convergence stats ride in the meta as %h strings: Json numbers
+   print %.6g-lossy, strings round-trip exactly. *)
+let encode_mask (mask, (stats : Opc.Model_opc.stats)) =
+  ( mask_text mask,
+    [
+      ( "iterations_run",
+        Obs.Json.Str (string_of_int stats.Opc.Model_opc.iterations_run) );
+      ("max_epe", Obs.Json.Str (hex stats.Opc.Model_opc.max_epe));
+      ("rms_epe", Obs.Json.Str (hex stats.Opc.Model_opc.rms_epe));
+      ("sites", Obs.Json.Str (string_of_int stats.Opc.Model_opc.sites));
+      ("unresolved", Obs.Json.Str (string_of_int stats.Opc.Model_opc.unresolved));
+    ] )
+
+let decode_mask ~payload ~meta =
+  let str k = Option.bind (Obs.Json.member k meta) Obs.Json.to_str in
+  match
+    (str "iterations_run", str "max_epe", str "rms_epe", str "sites",
+     str "unresolved")
+  with
+  | Some it, Some mx, Some rms, Some s, Some u ->
+      let mask =
+        Opc.Mask.of_polygons (List.map snd (Layout.Io.read_shapes payload))
+      in
+      Some
+        ( mask,
+          {
+            Opc.Model_opc.iterations_run = int_of_string it;
+            max_epe = float_of_string mx;
+            rms_epe = float_of_string rms;
+            sites = int_of_string s;
+            unresolved = int_of_string u;
+          } )
+  | _ -> None
+
+(* The CD checkpoint stores post-noise records, so a resumed run skips
+   both the extraction and the noise pass. *)
+let cds_key config ~extra ~chip mask =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            Digest.to_hex (Digest.string (mask_text mask));
+            chip_digest chip;
+            hex config.condition.Litho.Condition.dose;
+            hex config.condition.Litho.Condition.defocus;
+            string_of_int config.slices;
+            string_of_int config.tile;
+            hex config.cd_noise_gate;
+            hex config.cd_noise_slice;
+            string_of_int config.seed;
+            extra;
+          ]))
+
+let encode_cds cds =
+  (with_buffer (fun ppf -> Cdex.Csv.write ~exact:true ppf cds), [])
+
+let decode_cds ~payload ~meta:_ = Some (Cdex.Csv.read ~src:"checkpoint" payload)
+
 (* Local silicon CD variation: the litho simulator is deterministic,
    but the CD-SEM data the paper calibrates against carries line-edge
    roughness and local dose/focus noise.  A per-gate component (does
@@ -151,17 +293,24 @@ let add_silicon_noise config cds =
         { cd with Cdex.Gate_cd.cds = List.map bump cd.Cdex.Gate_cd.cds })
       cds
 
-let extract_and_time ?pool config ~litho ~netlist ~chip ~mask ~loads ~clock_period =
+let extract_and_time ?pool ?(ckpt_stage = "cds") ?(ckpt_extra = "") config
+    ~litho ~netlist ~chip ~mask ~loads ~clock_period =
   let gates = Layout.Chip.gates chip in
   let cds =
-    Obs.Span.with_ ~name:"flow.cdex" (fun () ->
-        Cdex.Extract.extract ?pool litho config.condition
+    supervised ~name:"flow.cdex" config
+      ~checkpoint:
+        ( ckpt_stage,
+          (fun () -> cds_key config ~extra:ckpt_extra ~chip mask),
+          encode_cds,
+          decode_cds )
+      (fun () ->
+        Cdex.Extract.extract ?pool ~retry:config.retry litho config.condition
           ~mask:(Opc.Mask.source mask) ~gates ~slices:config.slices
           ~tile:config.tile ()
         |> add_silicon_noise config)
   in
   let annotation =
-    Obs.Span.with_ ~name:"flow.annotate" (fun () ->
+    supervised ~name:"flow.annotate" config (fun () ->
         Cdex.Annotate.build ~nmos:config.env.Circuit.Delay_model.nmos
           ~pmos:config.env.Circuit.Delay_model.pmos cds)
   in
@@ -170,7 +319,7 @@ let extract_and_time ?pool config ~litho ~netlist ~chip ~mask ~loads ~clock_peri
       ~lengths_of:(lengths_of_annotation annotation netlist)
   in
   let sta =
-    Obs.Span.with_ ~name:"flow.sta.post_opc" (fun () ->
+    supervised ~name:"flow.sta.post_opc" config (fun () ->
         Sta.Timing.analyze netlist ~loads ~delay ~clock_period ())
   in
   (cds, annotation, sta)
@@ -183,7 +332,9 @@ let run config netlist =
   @@ fun () ->
   Obs.Metrics.incr m_runs;
   Litho.Tile_cache.set_enabled config.cache;
-  let litho = Obs.Span.with_ ~name:"flow.litho_model" (fun () -> litho_model config) in
+  let litho =
+    supervised ~name:"flow.litho_model" config (fun () -> litho_model config)
+  in
   let chip = place config netlist in
   let loads = Circuit.Loads.of_netlist config.env netlist in
   (* Sign-off view: characterised NLDM library at drawn CDs. *)
@@ -192,7 +343,7 @@ let run config netlist =
   in
   let drawn_delay = Sta.Timing.nldm_delay nldm in
   let drawn_sta, clock_period =
-    Obs.Span.with_ ~name:"flow.sta.drawn" (fun () ->
+    supervised ~name:"flow.sta.drawn" config (fun () ->
         let pre =
           Sta.Timing.analyze netlist ~loads ~delay:drawn_delay ~clock_period:1.0 ()
         in
@@ -203,7 +354,13 @@ let run config netlist =
           clock_period ))
   in
   let mask, opc_stats =
-    Obs.Span.with_ ~name:"flow.opc" (fun () -> opc_of_config config litho chip)
+    supervised ~name:"flow.opc" config
+      ~checkpoint:
+        ( "opc",
+          (fun () -> opc_key config ~extra:"" chip),
+          encode_mask,
+          decode_mask )
+      (fun () -> opc_of_config config litho chip)
   in
   let cds, annotation, post_opc_sta =
     with_flow_pool config (fun pool ->
@@ -256,16 +413,31 @@ let run_selective r ~selected =
   let config = r.config in
   Litho.Tile_cache.set_enabled config.cache;
   let litho = litho_model config in
+  (* Selective runs checkpoint under their own stage names with the
+     selected-gate set folded into the key, so a full-run checkpoint in
+     the same directory is never mistaken for a selective one. *)
+  let sel_extra =
+    List.map Layout.Chip.gate_key selected
+    |> List.sort_uniq String.compare
+    |> String.concat ","
+  in
   let mask, opc_stats =
-    Obs.Span.with_ ~name:"flow.opc" (fun () ->
+    supervised ~name:"flow.opc" config
+      ~checkpoint:
+        ( "opc_sel",
+          (fun () -> opc_key config ~extra:sel_extra r.chip),
+          encode_mask,
+          decode_mask )
+      (fun () ->
         Opc.Chip_opc.correct_selective litho config.opc_config
           (Opc.Rule_opc.default_recipe config.tech)
           r.chip ~tile:config.tile ~selected)
   in
   let cds, annotation, post_opc_sta =
     with_flow_pool config (fun pool ->
-        extract_and_time ?pool config ~litho ~netlist:r.netlist ~chip:r.chip ~mask
-          ~loads:r.loads ~clock_period:r.clock_period)
+        extract_and_time ?pool ~ckpt_stage:"cds_sel" ~ckpt_extra:sel_extra config
+          ~litho ~netlist:r.netlist ~chip:r.chip ~mask ~loads:r.loads
+          ~clock_period:r.clock_period)
   in
   { r with mask; opc_stats; cds; annotation; post_opc_sta }
 

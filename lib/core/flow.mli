@@ -36,6 +36,23 @@ type config = {
           so this changes wall time only.  [run]/[run_selective] apply
           it process-wide for the duration of the run.  Default follows
           the [POTX_CACHE] environment variable (unset = on) *)
+  retry : Fault.retry;
+      (** bounded-backoff supervision applied to every flow stage, to
+          extraction pool tasks and to per-gate CD measurement (default
+          {!Fault.no_retry}).  Stages are pure, so a run whose
+          transient injected faults are all absorbed by retries is
+          bit-identical to a fault-free run.  A gate whose measurement
+          permanently fails degrades to its drawn CD and is counted in
+          [flow.degraded_gates] rather than aborting the run *)
+  checkpoint : Checkpoint.t option;
+      (** stage-level checkpoint/resume (default [None]).  [run]
+          checkpoints the post-OPC mask (stage ["opc"]) and the
+          noise-applied CD records (stage ["cds"]); [run_selective]
+          uses ["opc_sel"]/["cds_sel"] with the selected-gate set in
+          the key.  Stages are keyed by a content hash of their
+          inputs, and payloads use exact (hex-float) encodings, so a
+          resumed run is byte-identical to a clean one and a stale or
+          tampered checkpoint is rejected and recomputed *)
 }
 
 val default_config : unit -> config

@@ -2,6 +2,8 @@ module G = Geometry
 
 let m_simulations = Obs.Metrics.counter "litho.simulations"
 
+let () = Fault.declare "litho.simulate"
+
 let m_tiles = Obs.Metrics.counter "litho.tiles"
 
 (* ---- content-addressed simulation keys ---------------------------
@@ -77,6 +79,10 @@ let simulate ?pool (model : Model.t) (condition : Condition.t) ~window polygons 
   Obs.Span.with_ ~name:"litho.simulate"
     ~attrs:(fun () -> [ ("polygons", string_of_int (List.length polygons)) ])
   @@ fun () ->
+  (* The fault point fires before the cache lookup, so an injected
+     plan sees the same hit sequence whether or not the tile cache is
+     warm. *)
+  Fault.point "litho.simulate" @@ fun () ->
   Obs.Metrics.incr m_simulations;
   let mask =
     Raster.of_window ~window ~halo:model.Model.halo ~step:model.Model.step

@@ -240,6 +240,59 @@ let test_incremental_no_change_is_cheap () =
   Alcotest.(check int) "nothing re-evaluated" 0 reevaluated;
   Alcotest.(check (float 1e-9)) "same WNS" base.Sta.Timing.wns inc.Sta.Timing.wns
 
+(* Differential property: on random netlists with random changed-gate
+   sets, the incremental update must agree with a full reanalysis —
+   arrivals, slews, per-endpoint slacks, the critical-path order — and
+   may never re-evaluate more gates than the netlist has. *)
+let incremental_differential =
+  QCheck.Test.make ~name:"incremental update = full reanalysis" ~count:40
+    QCheck.(
+      quad (int_range 0 9999) (int_range 3 6) (int_range 3 6) (int_range 0 999))
+    (fun (seed, levels, width, sel) ->
+      let n =
+        Circuit.Generator.random_logic (Stats.Rng.create seed) ~levels ~width
+      in
+      let loads = Circuit.Loads.of_netlist env n in
+      let base =
+        Sta.Timing.analyze n ~loads ~delay:(drawn_delay ()) ~clock_period:800.0 ()
+      in
+      let pick = Stats.Rng.create (Hashtbl.hash (seed, sel)) in
+      let changed =
+        Array.to_list n.Circuit.Netlist.gates
+        |> List.filter_map (fun (g : Circuit.Netlist.gate) ->
+               if Stats.Rng.float pick < 0.25 then Some g.Circuit.Netlist.gname
+               else None)
+      in
+      let lengths_of name =
+        if List.mem name changed then
+          let h = Hashtbl.hash (name, sel) in
+          Some
+            {
+              Circuit.Delay_model.l_n = 84.0 +. float_of_int (h mod 13);
+              l_p = 86.0 +. float_of_int (h mod 11);
+            }
+        else None
+      in
+      let delay2 = Sta.Timing.model_delay env ~lengths_of in
+      let full = Sta.Timing.analyze n ~loads ~delay:delay2 ~clock_period:800.0 () in
+      let inc, reevaluated =
+        Sta.Incremental.update n ~previous:base ~changed ~loads ~delay:delay2 ()
+      in
+      let close a b = Float.abs (a -. b) <= 1e-6 in
+      Array.for_all2 close full.Sta.Timing.arrival inc.Sta.Timing.arrival
+      && Array.for_all2 close full.Sta.Timing.slew inc.Sta.Timing.slew
+      && close full.Sta.Timing.wns inc.Sta.Timing.wns
+      && close full.Sta.Timing.tns inc.Sta.Timing.tns
+      && List.length full.Sta.Timing.paths = List.length inc.Sta.Timing.paths
+      && List.for_all2
+           (fun (a : Sta.Timing.path) (b : Sta.Timing.path) ->
+             a.Sta.Timing.endpoint = b.Sta.Timing.endpoint
+             && close a.Sta.Timing.slack b.Sta.Timing.slack
+             && a.Sta.Timing.gates = b.Sta.Timing.gates)
+           full.Sta.Timing.paths inc.Sta.Timing.paths
+      && reevaluated <= Circuit.Netlist.num_gates n
+      && (changed <> [] || reevaluated = 0))
+
 (* ---- Sequential ---- *)
 
 let pipe = lazy (Sta.Sequential.pipeline (Stats.Rng.create 9) ~stages:4 ~width:6)
@@ -333,6 +386,7 @@ let () =
         [
           Alcotest.test_case "matches full" `Quick test_incremental_matches_full;
           Alcotest.test_case "no change" `Quick test_incremental_no_change_is_cheap;
+          QCheck_alcotest.to_alcotest incremental_differential;
         ] );
       ( "sequential",
         [
