@@ -245,6 +245,51 @@ let process_window_workload () =
     identical = Some (String.equal cold warm);
     note = Some "3x3 dose/defocus sweep, cold vs cached" }
 
+(* ---- sharded full-chip flow sweep -----------------------------------
+
+   The full c17 flow at shard counts 1/2/4/8 (worker domains from
+   POTX_DOMAINS, as everywhere in the harness).  Each sharded run's
+   observable output — exact CD records, OPC stats, both STA summaries
+   and the merged mask — must digest-match the shard=1 run; that is
+   the Flow.config.shard identity contract, cross-checked here on the
+   same records BENCH_perf.json archives.  The tile cache is cleared
+   before every timed run so each shard count pays the same cold
+   simulation cost. *)
+
+let digest_flow_run (r : Timing_opc.Flow.run) =
+  Digest.string
+    (Format.asprintf "%a@.%a@.%a@.%a@.%s"
+       (fun ppf cds -> Cdex.Csv.write ~exact:true ppf cds)
+       r.Timing_opc.Flow.cds Opc.Model_opc.pp_stats r.Timing_opc.Flow.opc_stats
+       Sta.Timing.pp_summary r.Timing_opc.Flow.drawn_sta Sta.Timing.pp_summary
+       r.Timing_opc.Flow.post_opc_sta
+       (Digest.string
+          (Marshal.to_string (Opc.Mask.polygons r.Timing_opc.Flow.mask) [])))
+
+let shard_sweep_workload () =
+  let netlist = Circuit.Generator.c17 () in
+  let config = Common.config () in
+  let run_at shard =
+    Litho.Tile_cache.clear Litho.Tile_cache.global;
+    Gc.compact ();
+    time (fun () ->
+        Timing_opc.Flow.run { config with Timing_opc.Flow.shard } netlist)
+  in
+  let runs = List.map (fun n -> (n, run_at n)) [ 1; 2; 4; 8 ] in
+  let base_digest, t_base =
+    match runs with
+    | (1, (r, t)) :: _ -> (digest_flow_run r, t)
+    | _ -> assert false
+  in
+  List.map
+    (fun (n, (r, t)) ->
+      { (base_record ~workload:"shard_sweep" ~tasks:n ~wall_s:t) with
+        domains_used = Common.domains;
+        speedup_vs_1 = (if n = 1 then None else Some (t_base /. t));
+        identical = Some (String.equal (digest_flow_run r) base_digest);
+        note = Some (Printf.sprintf "full c17 flow, shard=%d vs shard=1" n) })
+    runs
+
 let cache_workloads () =
   let was = Litho.Tile_cache.enabled () in
   Fun.protect ~finally:(fun () -> Litho.Tile_cache.set_enabled was) @@ fun () ->
@@ -317,6 +362,8 @@ let run_parallel_workloads () =
   let records = aerial_tiles_workload () in
   Format.printf "@.######## PERF: litho tile-cache workloads ########@.";
   let records = records @ cache_workloads () in
+  Format.printf "@.######## PERF: sharded full-chip flow sweep ########@.";
+  let records = records @ shard_sweep_workload () in
   List.iter
     (fun r ->
       Format.printf "%-20s domains=%d tasks=%d wall=%.3fs%s%s%s%s%s@." r.workload

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Tier-1 gate for this repo: build, full test suite, then a 2-domain
-# smoke run of the smallest bench workload to catch multicore
-# regressions (hangs, non-determinism) that unit tests can miss.
-# Future PRs invoke this before merging.
+# Tier-1 gate for this repo (documented in README): full build, the
+# test suite — including the golden stdout byte-compares in test/ —
+# and the smoke cases in bin/smoke.sh (multicore, obs + obs-check,
+# cache, fault/retry, checkpoint/resume, shard identity/resume).
+# `dune build @check` composes the same three pieces; this wrapper
+# forces the smokes to re-run even on an unchanged tree.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,46 +14,5 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== 2-domain smoke (quick t3) =="
-POTX_DOMAINS=2 dune exec bench/main.exe -- --quick t3
-
-echo "== traced smoke (potx run --trace/--metrics + obs-check) =="
-obs_dir=$(mktemp -d)
-trap 'rm -rf "$obs_dir"' EXIT
-dune exec bin/potx.exe -- run --bench c17 \
-  --trace "$obs_dir/trace.jsonl" --metrics "$obs_dir/metrics.jsonl" \
-  > /dev/null 2>&1
-dune exec bin/potx.exe -- obs-check \
-  --trace "$obs_dir/trace.jsonl" --metrics "$obs_dir/metrics.jsonl"
-
-echo "== litho cache smoke (cached vs --no-cache byte-identical, hits > 0) =="
-# stdout only: a --metrics run prints its observability summary on stderr.
-dune exec bin/potx.exe -- run --bench c17 \
-  --metrics "$obs_dir/cache_metrics.jsonl" > "$obs_dir/cached.out" 2> /dev/null
-dune exec bin/potx.exe -- run --bench c17 --no-cache > "$obs_dir/uncached.out" 2> /dev/null
-cmp "$obs_dir/cached.out" "$obs_dir/uncached.out"
-dune exec bin/potx.exe -- obs-check --metrics "$obs_dir/cache_metrics.jsonl" \
-  --require-nonzero litho.cache.hits \
-  --require-nonzero opc.dirty_tiles
-
-echo "== fault+retry smoke (injected faults absorbed, output byte-identical) =="
-dune exec bin/potx.exe -- run --bench c17 \
-  --faults 'litho.simulate=fail2;sta.analyze=fail1;cdex.annotate=fail1' \
-  --retries 3 --metrics "$obs_dir/fault_metrics.jsonl" \
-  > "$obs_dir/faulted.out" 2> /dev/null
-cmp "$obs_dir/cached.out" "$obs_dir/faulted.out"
-dune exec bin/potx.exe -- obs-check --metrics "$obs_dir/fault_metrics.jsonl" \
-  --require-nonzero fault.injected \
-  --require-nonzero exec.retries
-
-echo "== checkpoint/resume smoke (resume loads stages, output byte-identical) =="
-dune exec bin/potx.exe -- run --bench c17 --checkpoint "$obs_dir/ckpt" \
-  > "$obs_dir/ckpt1.out" 2> /dev/null
-dune exec bin/potx.exe -- run --bench c17 --checkpoint "$obs_dir/ckpt" --resume \
-  --metrics "$obs_dir/ckpt_metrics.jsonl" > "$obs_dir/ckpt2.out" 2> /dev/null
-cmp "$obs_dir/ckpt1.out" "$obs_dir/ckpt2.out"
-cmp "$obs_dir/cached.out" "$obs_dir/ckpt2.out"
-dune exec bin/potx.exe -- obs-check --metrics "$obs_dir/ckpt_metrics.jsonl" \
-  --require-nonzero flow.checkpoint.loaded
-
-echo "check.sh: OK"
+echo "== smokes (bin/smoke.sh) =="
+dune build @smokes --force

@@ -23,6 +23,13 @@ let netlist_of_name seed name =
 let resolve_domains flag =
   if flag > 0 then flag else Exec.Pool.env_domains ~default:1 ()
 
+(* Shard count: the --shard flag when positive, else POTX_SHARD, else
+   1 (monolithic).  Deliberately absent from the stdout header:
+   sharded output is byte-identical to unsharded output, and the
+   golden files plus check.sh smokes assert exactly that. *)
+let resolve_shard flag =
+  if flag > 0 then flag else Timing_opc.Shard.env_count ~default:1 ()
+
 (* Observability sinks: --trace/--metrics flags when non-empty, else
    the POTX_TRACE/POTX_METRICS environment variables.  With neither,
    tracing stays disabled and the run is byte-identical to an
@@ -66,8 +73,8 @@ let resolve_faults flag =
 
 (* ---- run ---- *)
 
-let run_flow bench opc seed dose defocus spread report domains no_cache faults
-    retries checkpoint_dir resume trace metrics =
+let run_flow bench opc seed dose defocus spread report shard selective domains
+    no_cache faults retries checkpoint_dir resume trace metrics =
   with_obs ~trace ~metrics @@ fun () ->
   Fault.set_plan (resolve_faults faults);
   let base = Timing_opc.Flow.default_config () in
@@ -85,6 +92,7 @@ let run_flow bench opc seed dose defocus spread report domains no_cache faults
       opc_style;
       condition = Litho.Condition.make ~dose ~defocus;
       domains;
+      shard = resolve_shard shard;
       cache = base.Timing_opc.Flow.cache && not no_cache;
       retry = (if retries > 0 then Fault.retrying retries else Fault.env_retry ());
       checkpoint =
@@ -119,6 +127,21 @@ let run_flow bench opc seed dose defocus spread report domains no_cache faults
     Format.printf "@.-- post-OPC timing paths --@.";
     Sta.Path_report.write Format.std_formatter netlist r.Timing_opc.Flow.post_opc_sta
       ~top:report
+  end;
+  if selective then begin
+    let margin = 5.0 in
+    let selected =
+      Timing_opc.Flow.critical_gates r ~view:r.Timing_opc.Flow.post_opc_sta ~margin
+    in
+    Format.printf "@.-- selective OPC: %d critical gate sites (margin %.1f ps) --@."
+      (List.length selected) margin;
+    let rs = Timing_opc.Flow.run_selective r ~selected in
+    Format.printf "%a@." Opc.Model_opc.pp_stats rs.Timing_opc.Flow.opc_stats;
+    Format.printf "selective post-OPC: %a@." Sta.Timing.pp_summary
+      rs.Timing_opc.Flow.post_opc_sta;
+    Format.printf "selective delta   : %a@." Timing_opc.Compare.pp_slack_delta
+      (Timing_opc.Compare.slack_delta r.Timing_opc.Flow.post_opc_sta
+         rs.Timing_opc.Flow.post_opc_sta)
   end
 
 let bench_arg =
@@ -140,6 +163,26 @@ let spread_arg =
 
 let report_arg =
   Arg.(value & opt int 0 & info [ "report" ] ~doc:"Print the top-N critical paths.")
+
+let shard_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shard" ]
+        ~doc:
+          "Spatial shards: OPC and extraction run one independent task per \
+           vertical die strip and merge by owner-shard rule (0 = take \
+           $(b,POTX_SHARD) from the environment, else 1).  Output is \
+           byte-identical for any value.")
+
+let selective_arg =
+  Arg.(
+    value & flag
+    & info [ "selective" ]
+        ~doc:
+          "After the full flow, re-run OPC selectively on the critical gate \
+           sites (slack within 5 ps of the worst path) with rule bias \
+           elsewhere — the paper's DFM feedback loop — and print the \
+           selective timing view.")
 
 let domains_arg =
   Arg.(
@@ -220,8 +263,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_flow $ bench_arg $ opc_arg $ seed_arg $ dose_arg $ defocus_arg
-      $ spread_arg $ report_arg $ domains_arg $ no_cache_arg $ faults_arg
-      $ retries_arg $ checkpoint_arg $ resume_arg $ trace_arg $ metrics_arg)
+      $ spread_arg $ report_arg $ shard_arg $ selective_arg $ domains_arg
+      $ no_cache_arg $ faults_arg $ retries_arg $ checkpoint_arg $ resume_arg
+      $ trace_arg $ metrics_arg)
 
 (* ---- cells ---- *)
 

@@ -1,0 +1,141 @@
+#!/bin/sh
+# Smoke cases behind the `check` dune alias (see bin/check.sh and the
+# bin/dune `smokes` rule).  Every case runs even when an earlier one
+# fails; failures are collected and reported in one summary line, and
+# the script exits nonzero if any case failed.
+#
+#   usage: smoke.sh path/to/potx.exe path/to/bench_main.exe
+
+POTX=${1:?usage: smoke.sh POTX BENCH_MAIN}
+BENCH=${2:?usage: smoke.sh POTX BENCH_MAIN}
+
+# Under dune, %{exe:...} can expand to a bare file name; qualify it so
+# the shell executes it by path instead of searching $PATH.
+case $POTX in */*) ;; *) POTX="./$POTX" ;; esac
+case $BENCH in */*) ;; *) BENCH="./$BENCH" ;; esac
+
+# Pin the knobs the cases set explicitly, so a developer's environment
+# cannot perturb the byte-compares.
+unset POTX_DOMAINS POTX_SHARD POTX_FAULTS POTX_RETRIES POTX_CACHE \
+  POTX_TRACE POTX_METRICS
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+failed=""
+cases=0
+
+run_case() {
+  name=$1
+  shift
+  cases=$((cases + 1))
+  echo "== $name =="
+  if "$@"; then
+    echo "-- $name: ok"
+  else
+    echo "-- $name: FAILED"
+    failed="$failed $name"
+  fi
+}
+
+# Reference stdout every byte-compare below is held to.
+case_baseline() {
+  "$POTX" run --bench c17 > "$work/base.out" 2> /dev/null &&
+    test -s "$work/base.out"
+}
+
+# 2-domain run of the smallest bench workload: catches multicore
+# regressions (hangs, non-determinism) that unit tests can miss.
+case_multicore_bench() {
+  POTX_DOMAINS=2 "$BENCH" --quick t3 > /dev/null
+}
+
+case_obs() {
+  "$POTX" run --bench c17 --trace "$work/trace.jsonl" \
+    --metrics "$work/metrics.jsonl" > /dev/null 2>&1 &&
+    "$POTX" obs-check --trace "$work/trace.jsonl" \
+      --metrics "$work/metrics.jsonl"
+}
+
+# Cached and uncached runs byte-identical, and the cache actually hit.
+case_cache() {
+  "$POTX" run --bench c17 --metrics "$work/cache_metrics.jsonl" \
+    > "$work/cached.out" 2> /dev/null &&
+    "$POTX" run --bench c17 --no-cache > "$work/uncached.out" 2> /dev/null &&
+    cmp "$work/base.out" "$work/cached.out" &&
+    cmp "$work/base.out" "$work/uncached.out" &&
+    "$POTX" obs-check --metrics "$work/cache_metrics.jsonl" \
+      --require-nonzero litho.cache.hits \
+      --require-nonzero opc.dirty_tiles
+}
+
+# Injected transient faults absorbed by retries, output byte-identical.
+case_fault_retry() {
+  "$POTX" run --bench c17 \
+    --faults 'litho.simulate=fail2;sta.analyze=fail1;cdex.annotate=fail1' \
+    --retries 3 --metrics "$work/fault_metrics.jsonl" \
+    > "$work/faulted.out" 2> /dev/null &&
+    cmp "$work/base.out" "$work/faulted.out" &&
+    "$POTX" obs-check --metrics "$work/fault_metrics.jsonl" \
+      --require-nonzero fault.injected \
+      --require-nonzero exec.retries
+}
+
+case_checkpoint_resume() {
+  "$POTX" run --bench c17 --checkpoint "$work/ckpt" \
+    > "$work/ckpt1.out" 2> /dev/null &&
+    "$POTX" run --bench c17 --checkpoint "$work/ckpt" --resume \
+      --metrics "$work/ckpt_metrics.jsonl" > "$work/ckpt2.out" 2> /dev/null &&
+    cmp "$work/ckpt1.out" "$work/ckpt2.out" &&
+    cmp "$work/base.out" "$work/ckpt2.out" &&
+    "$POTX" obs-check --metrics "$work/ckpt_metrics.jsonl" \
+      --require-nonzero flow.checkpoint.loaded
+}
+
+# The sharding acceptance: stdout byte-identical to the monolithic run
+# for N in {1,2,4,8} at 1 and 4 worker domains.  The header line
+# prints the domain count, so the comparison starts below it.
+case_shard_identity() {
+  ok=0
+  for n in 1 2 4 8; do
+    for d in 1 4; do
+      "$POTX" run --bench c17 --shard "$n" --domains "$d" \
+        > "$work/shard_${n}_${d}.out" 2> /dev/null || ok=1
+      tail -n +2 "$work/shard_${n}_${d}.out" > "$work/shard_${n}_${d}.body"
+      tail -n +2 "$work/base.out" | cmp - "$work/shard_${n}_${d}.body" || {
+        echo "   shard=$n domains=$d differs from the monolithic run"
+        ok=1
+      }
+    done
+  done
+  return $ok
+}
+
+# Shard-granular checkpoints: a sharded resume loads per-shard CD
+# stages and still reproduces the monolithic stdout.
+case_shard_resume() {
+  "$POTX" run --bench c17 --shard 4 --checkpoint "$work/shard_ckpt" \
+    > "$work/shard_ckpt1.out" 2> /dev/null &&
+    "$POTX" run --bench c17 --shard 4 --checkpoint "$work/shard_ckpt" \
+      --resume --metrics "$work/shard_ckpt_metrics.jsonl" \
+      > "$work/shard_ckpt2.out" 2> /dev/null &&
+    cmp "$work/base.out" "$work/shard_ckpt1.out" &&
+    cmp "$work/base.out" "$work/shard_ckpt2.out" &&
+    "$POTX" obs-check --metrics "$work/shard_ckpt_metrics.jsonl" \
+      --require-nonzero flow.checkpoint.loaded \
+      --require-nonzero flow.shards
+}
+
+run_case baseline case_baseline
+run_case multicore-bench case_multicore_bench
+run_case obs case_obs
+run_case cache case_cache
+run_case fault-retry case_fault_retry
+run_case checkpoint-resume case_checkpoint_resume
+run_case shard-identity case_shard_identity
+run_case shard-resume case_shard_resume
+
+if [ -n "$failed" ]; then
+  echo "smoke.sh: FAILED:$failed"
+  exit 1
+fi
+echo "smoke.sh: OK ($cases/$cases cases)"

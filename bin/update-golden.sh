@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate the golden stdout captures in test/golden/ after an
+# intentional output change: re-runs the golden rules and promotes the
+# fresh output into the source tree.  Review the resulting diff before
+# committing — a golden change is an output-contract change.
+set -eu
+cd "$(dirname "$0")/.."
+dune build @golden --auto-promote
+git --no-pager diff --stat test/golden/ || true

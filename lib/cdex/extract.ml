@@ -22,18 +22,28 @@ let m_cd =
 
 let drawn_source chip window = Layout.Chip.shapes_in chip Layout.Layer.Poly window
 
+let bucket_key ~tile (g : Layout.Chip.gate_ref) =
+  let c = G.Rect.center g.Layout.Chip.gate in
+  (c.G.Point.x / tile, c.G.Point.y / tile)
+
 (* Group gates into square tiles keyed by the tile containing the gate
-   centre, so each aerial image is shared by many measurements. *)
+   centre, so each aerial image is shared by many measurements.
+   Buckets come out sorted by key with gates in input order, so the
+   record order is a canonical function of the gate set rather than of
+   hash-table internals: per-shard extractions concatenated in shard
+   order equal the unsharded extraction (Core.Shard partitions gates
+   on [bucket_key], never splitting a bucket). *)
 let bucket_gates ~tile gates =
   let table = Hashtbl.create 64 in
   List.iter
     (fun (g : Layout.Chip.gate_ref) ->
-      let c = G.Rect.center g.Layout.Chip.gate in
-      let key = (c.G.Point.x / tile, c.G.Point.y / tile) in
+      let key = bucket_key ~tile g in
       let cur = Option.value ~default:[] (Hashtbl.find_opt table key) in
       Hashtbl.replace table key (g :: cur))
     gates;
-  Hashtbl.fold (fun _ gs acc -> gs :: acc) table []
+  Hashtbl.fold (fun key gs acc -> (key, List.rev gs) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
 
 let measure_gate intensity ~threshold ~slices ~search (g : Layout.Chip.gate_ref) =
   let r = g.Layout.Chip.gate in

@@ -13,6 +13,7 @@ type config = {
   seed : int;
   slices : int;
   domains : int;
+  shard : int;
   cache : bool;
   retry : Fault.retry;
   checkpoint : Checkpoint.t option;
@@ -36,6 +37,7 @@ let default_config () =
     seed = 42;
     slices = 7;
     domains = 1;
+    shard = Shard.env_count ();
     cache = Litho.Tile_cache.env_enabled ();
     retry = Fault.no_retry;
     checkpoint = None;
@@ -145,7 +147,49 @@ let lengths_of_annotation annotation netlist =
     netlist.Circuit.Netlist.gates;
   fun name -> Hashtbl.find_opt table name
 
-let opc_of_config config litho chip =
+(* --- sharding ---------------------------------------------------- *)
+
+let m_shards = Obs.Metrics.counter "flow.shards"
+
+let m_halo_gates = Obs.Metrics.counter "shard.halo_gates"
+
+(* Shard strips share the extraction bucket anchors (so gate ownership
+   never splits a bucket) and report the litho halo's reach in
+   [shard.halo_gates]. *)
+let shard_plan config litho chip =
+  Shard.plan ~tile:config.tile ~halo:litho.Litho.Model.halo ~count:config.shard
+    chip
+
+(* Dispatch one task per shard.  A single shard runs inline on the
+   caller with the pool handed down to its inner hot loops — literally
+   the pre-shard code path.  Several shards become independent pool
+   tasks (sequential inside; a nested pool would inline anyway), under
+   the stage retry policy.  Merging results in shard order is what
+   keeps output byte-identical for any shard count x worker count. *)
+let map_shards ?pool ~label config (f : ?pool:Exec.Pool.t -> Shard.t -> 'a) shards =
+  match (shards, pool) with
+  | [ s ], _ -> [ f ?pool s ]
+  | _, None -> List.map (fun s -> f s) shards
+  | _, Some p -> Exec.Pool.map_list ~label ~retry:config.retry p (fun s -> f s) shards
+
+let shard_span ~stage (s : Shard.t) f =
+  Obs.Span.with_ ~name:"flow.shard"
+    ~attrs:(fun () ->
+      [
+        ("stage", stage);
+        ("shard", Printf.sprintf "%d/%d" (s.Shard.index + 1) s.Shard.count);
+        ("gates", string_of_int (List.length s.Shard.gates));
+        ("halo_gates", string_of_int s.Shard.halo_gates);
+      ])
+    f
+
+(* Model-based OPC runs one correction batch per shard (the tile
+   columns the shard owns) against the shared read-only plan, then
+   merges overwrites and stats in shard order — canonical tile order
+   overall, so the mask and merged stats are byte-identical to the
+   monolithic pass.  Each shard task sits behind the [opc.correct]
+   fault point, mirroring the monolithic driver. *)
+let opc_of_config ?pool config litho chip ~shards =
   match config.opc_style with
   | No_opc -> Opc.Chip_opc.correct litho Opc.Chip_opc.None_ chip ~tile:config.tile
   | Rule_opc ->
@@ -153,8 +197,16 @@ let opc_of_config config litho chip =
         (Opc.Chip_opc.Rule (Opc.Rule_opc.default_recipe config.tech))
         chip ~tile:config.tile
   | Model_opc ->
-      Opc.Chip_opc.correct litho (Opc.Chip_opc.Model config.opc_config) chip
-        ~tile:config.tile
+      let plan = Opc.Chip_opc.plan litho chip ~tile:config.tile in
+      let tiles = Opc.Chip_opc.tiles plan in
+      let correct ?pool:_ (s : Shard.t) =
+        shard_span ~stage:"opc" s @@ fun () ->
+        Fault.point "opc.correct" @@ fun () ->
+        Opc.Chip_opc.correct_tiles litho config.opc_config plan
+          (Shard.split_tiles s tiles)
+      in
+      Opc.Chip_opc.assemble plan
+        (map_shards ?pool ~label:"flow.shards.opc" config correct shards)
 
 (* --- checkpoint keys and codecs ---------------------------------- *)
 
@@ -249,14 +301,17 @@ let decode_mask ~payload ~meta =
   | _ -> None
 
 (* The CD checkpoint stores post-noise records, so a resumed run skips
-   both the extraction and the noise pass. *)
-let cds_key config ~extra ~chip mask =
+   both the extraction and the noise pass.  The mask and chip digests
+   are taken as arguments: sharded extraction hashes the shared stage
+   inputs once on the calling domain and per-shard keys add only the
+   shard spec. *)
+let cds_key config ~extra ~mask_digest ~chip_digest =
   Digest.to_hex
     (Digest.string
        (String.concat "|"
           [
-            Digest.to_hex (Digest.string (mask_text mask));
-            chip_digest chip;
+            mask_digest;
+            chip_digest;
             hex config.condition.Litho.Condition.dose;
             hex config.condition.Litho.Condition.defocus;
             string_of_int config.slices;
@@ -293,21 +348,64 @@ let add_silicon_noise config cds =
         { cd with Cdex.Gate_cd.cds = List.map bump cd.Cdex.Gate_cd.cds })
       cds
 
+(* Sharded extraction: each shard measures its owned gates against the
+   full merged mask (its simulation windows reach into neighbour
+   strips by the litho halo) and adds silicon noise — both depend only
+   on the gate set, so concatenating per-shard records in shard order
+   equals the unsharded extraction byte for byte (buckets are
+   canonically ordered, see Cdex.Extract.bucket_gates).
+
+   With checkpointing on, every non-empty shard saves its post-noise
+   records under its own stage name and content-hash key: "cds" when
+   the plan has one shard (backward compatible with pre-shard
+   checkpoints), "cds.sNofM" otherwise — so --resume is
+   shard-granular.  Keys are computed eagerly here, never via a shared
+   lazy, because they are evaluated from worker domains. *)
+let extract_cds ?pool config ~shards ~litho ~chip ~mask ~ckpt_stage ~ckpt_extra =
+  let digests =
+    match config.checkpoint with
+    | None -> None
+    | Some _ ->
+        Some
+          ( Digest.to_hex (Digest.string (mask_text mask)),
+            chip_digest chip )
+  in
+  let extract_one ?pool (s : Shard.t) =
+    shard_span ~stage:"cdex" s @@ fun () ->
+    Obs.Metrics.add m_halo_gates s.Shard.halo_gates;
+    let compute () =
+      Cdex.Extract.extract ?pool ~retry:config.retry litho config.condition
+        ~mask:(Opc.Mask.source mask) ~gates:s.Shard.gates ~slices:config.slices
+        ~tile:config.tile ()
+      |> add_silicon_noise config
+    in
+    match digests with
+    | None -> compute ()
+    | Some _ when s.Shard.gates = [] ->
+        (* An empty shard has nothing to resume; writing no file keeps
+           stage counts independent of degenerate partitions. *)
+        compute ()
+    | Some (mask_digest, chip_digest) ->
+        let name, extra =
+          if s.Shard.count = 1 then (ckpt_stage, ckpt_extra)
+          else
+            ( Printf.sprintf "%s.s%dof%d" ckpt_stage (s.Shard.index + 1)
+                s.Shard.count,
+              Printf.sprintf "shard=%d/%d@%d..%d|%s" s.Shard.index s.Shard.count
+                s.Shard.x_lo s.Shard.x_hi ckpt_extra )
+        in
+        Checkpoint.stage config.checkpoint ~name
+          ~key:(cds_key config ~extra ~mask_digest ~chip_digest)
+          ~encode:encode_cds ~decode:decode_cds compute
+  in
+  List.concat (map_shards ?pool ~label:"flow.shards.cdex" config extract_one shards)
+
 let extract_and_time ?pool ?(ckpt_stage = "cds") ?(ckpt_extra = "") config
-    ~litho ~netlist ~chip ~mask ~loads ~clock_period =
-  let gates = Layout.Chip.gates chip in
+    ~shards ~litho ~netlist ~chip ~mask ~loads ~clock_period =
   let cds =
-    supervised ~name:"flow.cdex" config
-      ~checkpoint:
-        ( ckpt_stage,
-          (fun () -> cds_key config ~extra:ckpt_extra ~chip mask),
-          encode_cds,
-          decode_cds )
-      (fun () ->
-        Cdex.Extract.extract ?pool ~retry:config.retry litho config.condition
-          ~mask:(Opc.Mask.source mask) ~gates ~slices:config.slices
-          ~tile:config.tile ()
-        |> add_silicon_noise config)
+    supervised ~name:"flow.cdex" config (fun () ->
+        extract_cds ?pool config ~shards ~litho ~chip ~mask ~ckpt_stage
+          ~ckpt_extra)
   in
   let annotation =
     supervised ~name:"flow.annotate" config (fun () ->
@@ -328,7 +426,8 @@ let run config netlist =
   Obs.Span.with_ ~name:"flow.run"
     ~attrs:(fun () ->
       [ ("gates", string_of_int (Circuit.Netlist.num_gates netlist));
-        ("domains", string_of_int config.domains) ])
+        ("domains", string_of_int config.domains);
+        ("shards", string_of_int (max 1 config.shard)) ])
   @@ fun () ->
   Obs.Metrics.incr m_runs;
   Litho.Tile_cache.set_enabled config.cache;
@@ -336,6 +435,8 @@ let run config netlist =
     supervised ~name:"flow.litho_model" config (fun () -> litho_model config)
   in
   let chip = place config netlist in
+  let shards = shard_plan config litho chip in
+  Obs.Metrics.add m_shards (List.length shards);
   let loads = Circuit.Loads.of_netlist config.env netlist in
   (* Sign-off view: characterised NLDM library at drawn CDs. *)
   let nldm =
@@ -353,18 +454,24 @@ let run config netlist =
         ( Sta.Timing.analyze netlist ~loads ~delay:drawn_delay ~clock_period (),
           clock_period ))
   in
-  let mask, opc_stats =
-    supervised ~name:"flow.opc" config
-      ~checkpoint:
-        ( "opc",
-          (fun () -> opc_key config ~extra:"" chip),
-          encode_mask,
-          decode_mask )
-      (fun () -> opc_of_config config litho chip)
-  in
-  let cds, annotation, post_opc_sta =
+  (* One pool spans both shard-parallel phases; the merged mask is the
+     barrier between them. *)
+  let mask, opc_stats, cds, annotation, post_opc_sta =
     with_flow_pool config (fun pool ->
-        extract_and_time ?pool config ~litho ~netlist ~chip ~mask ~loads ~clock_period)
+        let mask, opc_stats =
+          supervised ~name:"flow.opc" config
+            ~checkpoint:
+              ( "opc",
+                (fun () -> opc_key config ~extra:"" chip),
+                encode_mask,
+                decode_mask )
+            (fun () -> opc_of_config ?pool config litho chip ~shards)
+        in
+        let cds, annotation, post_opc_sta =
+          extract_and_time ?pool config ~shards ~litho ~netlist ~chip ~mask
+            ~loads ~clock_period
+        in
+        (mask, opc_stats, cds, annotation, post_opc_sta))
   in
   {
     config;
@@ -413,6 +520,10 @@ let run_selective r ~selected =
   let config = r.config in
   Litho.Tile_cache.set_enabled config.cache;
   let litho = litho_model config in
+  (* Selective OPC itself stays monolithic (its cost is bounded by the
+     selected set); extraction reuses the sharded path. *)
+  let shards = shard_plan config litho r.chip in
+  Obs.Metrics.add m_shards (List.length shards);
   (* Selective runs checkpoint under their own stage names with the
      selected-gate set folded into the key, so a full-run checkpoint in
      the same directory is never mistaken for a selective one. *)
@@ -436,7 +547,7 @@ let run_selective r ~selected =
   let cds, annotation, post_opc_sta =
     with_flow_pool config (fun pool ->
         extract_and_time ?pool ~ckpt_stage:"cds_sel" ~ckpt_extra:sel_extra config
-          ~litho ~netlist:r.netlist ~chip:r.chip ~mask ~loads:r.loads
+          ~shards ~litho ~netlist:r.netlist ~chip:r.chip ~mask ~loads:r.loads
           ~clock_period:r.clock_period)
   in
   { r with mask; opc_stats; cds; annotation; post_opc_sta }

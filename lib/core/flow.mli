@@ -26,9 +26,20 @@ type config = {
   seed : int;  (** placement/filler randomisation seed *)
   slices : int;  (** CD cutlines per gate *)
   domains : int;
-      (** worker domains for the extraction hot path (default 1 =
+      (** worker domains for the OPC/extraction hot paths (default 1 =
           sequential); results are bit-identical for any value — see
           [Exec.Pool] *)
+  shard : int;
+      (** spatial shards (vertical die strips, see {!Shard}; default
+          follows [POTX_SHARD], unset = 1).  Model OPC and CD
+          extraction run one independent task per shard — each a
+          separate [Exec.Pool] task when [domains > 1] — and merge by
+          owner-shard rule, so the output is {e byte-identical} to the
+          unsharded run for any shard count x worker count.  Shards
+          read shared context (drawn chip / merged mask) within the
+          optical halo, so values larger than the die just degenerate
+          to empty shards.  Checkpointing becomes shard-granular:
+          stage ["cds.sNofM"] per shard when [shard > 1] *)
   cache : bool;
       (** content-addressed litho tile cache ([Litho.Tile_cache]):
           repeated cell patterns and dose-sweep conditions reuse stored
@@ -52,7 +63,11 @@ type config = {
           the key.  Stages are keyed by a content hash of their
           inputs, and payloads use exact (hex-float) encodings, so a
           resumed run is byte-identical to a clean one and a stale or
-          tampered checkpoint is rejected and recomputed *)
+          tampered checkpoint is rejected and recomputed.  With
+          [shard > 1] the CD stage is checkpointed per shard
+          (["cds.sNofM"], each under its own content-hash key), so
+          [--resume] re-does only the shards that are missing or
+          stale *)
 }
 
 val default_config : unit -> config

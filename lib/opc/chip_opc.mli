@@ -27,3 +27,41 @@ val correct_selective :
   tile:int ->
   selected:Layout.Chip.gate_ref list ->
   Mask.t * Model_opc.stats
+
+(** {1 Sharded model correction}
+
+    [plan] prepares the full-chip model correction once: the drawn
+    poly items, a spatial index over them, and the die tiling
+    ([tiles], in canonical x-major order).  The plan is read-only
+    after construction, so disjoint tile subsets can be corrected
+    concurrently from several domains.
+
+    [correct_tiles] corrects any subset of the plan's tiles (keeping
+    the subset in canonical tile order) and returns the corrected
+    polygons as (item id, polygon) overwrites plus the per-tile stats;
+    [assemble] applies per-subset results — again in canonical tile
+    order overall — to a fresh copy of the drawn items and merges the
+    stats.  Correcting all tiles in one batch or in any ordered
+    partition of batches yields byte-identical masks and stats, which
+    is what Core.Flow's sharded OPC relies on.  [correct] with a
+    [Model] style is [plan] + one [correct_tiles] batch + [assemble]. *)
+
+type plan
+
+val plan : Litho.Model.t -> Layout.Chip.t -> tile:int -> plan
+
+(** The correction tiles in canonical (x-major, then y) order. *)
+val tiles : plan -> Geometry.Rect.t list
+
+val correct_tiles :
+  Litho.Model.t ->
+  Model_opc.config ->
+  ?want:(Geometry.Polygon.t -> bool) ->
+  plan ->
+  Geometry.Rect.t list ->
+  (int * Geometry.Polygon.t) list * Model_opc.stats list
+
+val assemble :
+  plan ->
+  ((int * Geometry.Polygon.t) list * Model_opc.stats list) list ->
+  Mask.t * Model_opc.stats
