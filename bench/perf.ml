@@ -290,6 +290,88 @@ let shard_sweep_workload () =
         note = Some (Printf.sprintf "full c17 flow, shard=%d vs shard=1" n) })
     runs
 
+(* ---- resident timing service: warm vs cold query cost ---------------
+
+   N queries per verb against one warm serve session vs the same N
+   queries as cold one-shot runs (Session.create + handle + close per
+   query, tile cache cleared — the cost `potx run` would pay).  Warm
+   and cold answer through the same Session code, so the replies must
+   be bit-identical; the speedup is the service's reason to exist.
+   On this host note host_cores in BENCH_perf.json: a 1-core box
+   measures the warm-state win, not parallel scaling. *)
+
+let serve_queries_workload () =
+  let module P = Timing_opc_serve.Protocol in
+  let module Session = Timing_opc_serve.Session in
+  let netlist () = Circuit.Generator.c17 () in
+  let config = Common.config () in
+  let n = if !Common.quick then 1 else 2 in
+  let per_verb =
+    [ ("retime", P.Retime { endpoint = None });
+      ("whatif", P.Whatif { gate = "g22"; change = P.Resize { dl = 3.0 } });
+      ("cds",
+       P.Cds
+         { region = Some (G.Rect.make ~lx:0 ~ly:0 ~hx:3000 ~hy:3000) });
+      ("corner", P.Corner { dose = 1.03; defocus = 90.0; spread = None }) ]
+  in
+  let reply_string verb reply =
+    Timing_opc_serve.Protocol.response_to_string
+      { P.id = 0; verb = Some verb; reply }
+  in
+  (* Warm: pay the flow once, then answer everything in-memory. *)
+  Litho.Tile_cache.clear Litho.Tile_cache.global;
+  Gc.compact ();
+  let session, t_warmup =
+    time (fun () -> Session.create ~bench:"c17" config (netlist ()))
+  in
+  let warm =
+    Fun.protect ~finally:(fun () -> Session.close session) @@ fun () ->
+    List.map
+      (fun (verb, request) ->
+        let replies, t =
+          time (fun () ->
+              List.init n (fun _ ->
+                  reply_string verb (Session.handle session request)))
+        in
+        (verb, replies, t))
+      per_verb
+  in
+  (* Cold: every query re-runs the whole flow first. *)
+  let cold =
+    List.map
+      (fun (verb, request) ->
+        let replies, t =
+          time (fun () ->
+              List.init n (fun _ ->
+                  Litho.Tile_cache.clear Litho.Tile_cache.global;
+                  let s = Session.create ~bench:"c17" config (netlist ()) in
+                  Fun.protect
+                    ~finally:(fun () -> Session.close s)
+                    (fun () -> reply_string verb (Session.handle s request))))
+        in
+        (verb, replies, t))
+      per_verb
+  in
+  Obs.Metrics.add_gauge
+    (Obs.Metrics.gauge "bench.serve_queries.warmup.wall_s")
+    t_warmup;
+  List.map2
+    (fun (verb, warm_replies, t_warm) (_, cold_replies, t_cold) ->
+      { (base_record ~workload:("serve_queries." ^ verb) ~tasks:n
+           ~wall_s:t_cold)
+        with
+        domains_used = Common.domains;
+        wall_cached_s = Some t_warm;
+        speedup_cached = Some (t_cold /. t_warm);
+        identical = Some (warm_replies = cold_replies);
+        note =
+          Some
+            (Printf.sprintf
+               "%d cold one-shot runs vs %d warm-session queries (warmup \
+                %.3fs paid once)"
+               n n t_warmup) })
+    warm cold
+
 let cache_workloads () =
   let was = Litho.Tile_cache.enabled () in
   Fun.protect ~finally:(fun () -> Litho.Tile_cache.set_enabled was) @@ fun () ->
@@ -364,6 +446,8 @@ let run_parallel_workloads () =
   let records = records @ cache_workloads () in
   Format.printf "@.######## PERF: sharded full-chip flow sweep ########@.";
   let records = records @ shard_sweep_workload () in
+  Format.printf "@.######## PERF: warm serve session vs cold one-shot queries ########@.";
+  let records = records @ serve_queries_workload () in
   List.iter
     (fun r ->
       Format.printf "%-20s domains=%d tasks=%d wall=%.3fs%s%s%s%s%s@." r.workload

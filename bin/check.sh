@@ -2,9 +2,11 @@
 # Tier-1 gate for this repo (documented in README): full build, the
 # test suite — including the golden stdout byte-compares in test/ —
 # and the smoke cases in bin/smoke.sh (multicore, obs + obs-check,
-# cache, fault/retry, checkpoint/resume, shard identity/resume).
-# `dune build @check` composes the same three pieces; this wrapper
-# forces the smokes to re-run even on an unchanged tree.
+# cache, fault/retry, checkpoint/resume, shard identity/resume,
+# serve).  bin/smoke.sh is the single source of truth for the smoke
+# cases: this wrapper only builds and hands it the artifacts (the
+# bin/dune `smokes` alias runs the same script under dune, so
+# `dune build @check` composes the same three pieces).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,4 +17,5 @@ echo "== dune runtest =="
 dune runtest
 
 echo "== smokes (bin/smoke.sh) =="
-dune build @smokes --force
+sh bin/smoke.sh _build/default/bin/potx.exe _build/default/bench/main.exe \
+  test/serve_script_c17.jsonl test/golden/serve_script_c17.txt

@@ -71,12 +71,13 @@ let resolve_faults flag =
       | Error e -> failwith (Printf.sprintf "bad fault spec %S: %s" s e))
     (resolve_sink flag "POTX_FAULTS")
 
-(* ---- run ---- *)
+(* ---- run / serve ---- *)
 
-let run_flow bench opc seed dose defocus spread report shard selective domains
-    no_cache faults retries checkpoint_dir resume trace metrics =
-  with_obs ~trace ~metrics @@ fun () ->
-  Fault.set_plan (resolve_faults faults);
+(* The flow config shared by the one-shot run and the resident
+   service; both hand it to Timing_opc_serve.Session, which runs the
+   flow once and keeps the result warm. *)
+let flow_config ~opc ~seed ~dose ~defocus ~shard ~domains ~no_cache ~retries
+    ~checkpoint_dir ~resume =
   let base = Timing_opc.Flow.default_config () in
   let opc_style =
     match opc with
@@ -85,64 +86,60 @@ let run_flow bench opc seed dose defocus spread report shard selective domains
     | "model" -> Timing_opc.Flow.Model_opc
     | s -> failwith ("unknown OPC style " ^ s)
   in
-  let domains = resolve_domains domains in
+  { base with
+    Timing_opc.Flow.seed;
+    opc_style;
+    condition = Litho.Condition.make ~dose ~defocus;
+    domains = resolve_domains domains;
+    shard = resolve_shard shard;
+    cache = base.Timing_opc.Flow.cache && not no_cache;
+    retry = (if retries > 0 then Fault.retrying retries else Fault.env_retry ());
+    checkpoint =
+      (if checkpoint_dir = "" then None
+       else Some (Timing_opc.Checkpoint.create ~dir:checkpoint_dir ~resume)) }
+
+let with_session ~bench config f =
+  let netlist = netlist_of_name config.Timing_opc.Flow.seed bench in
+  let session = Timing_opc_serve.Session.create ~bench config netlist in
+  Fun.protect
+    ~finally:(fun () -> Timing_opc_serve.Session.close session)
+    (fun () -> f session)
+
+let run_flow bench opc seed dose defocus spread report shard selective domains
+    no_cache faults retries checkpoint_dir resume trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
+  Fault.set_plan (resolve_faults faults);
   let config =
-    { base with
-      Timing_opc.Flow.seed;
-      opc_style;
-      condition = Litho.Condition.make ~dose ~defocus;
-      domains;
-      shard = resolve_shard shard;
-      cache = base.Timing_opc.Flow.cache && not no_cache;
-      retry = (if retries > 0 then Fault.retrying retries else Fault.env_retry ());
-      checkpoint =
-        (if checkpoint_dir = "" then None
-         else Some (Timing_opc.Checkpoint.create ~dir:checkpoint_dir ~resume)) }
+    flow_config ~opc ~seed ~dose ~defocus ~shard ~domains ~no_cache ~retries
+      ~checkpoint_dir ~resume
   in
-  let netlist = netlist_of_name seed bench in
   Format.printf "flow: %s, OPC=%s, silicon %a, seed %d, domains %d@." bench opc
-    Litho.Condition.pp config.Timing_opc.Flow.condition seed domains;
-  let r = Timing_opc.Flow.run config netlist in
-  Format.printf "%a@." Layout.Chip.pp r.Timing_opc.Flow.chip;
-  Format.printf "%a@." Opc.Model_opc.pp_stats r.Timing_opc.Flow.opc_stats;
-  let printed = List.filter (fun c -> c.Cdex.Gate_cd.printed) r.Timing_opc.Flow.cds in
-  Format.printf "gate dCD: %a@." Stats.Summary.pp
-    (Stats.Summary.of_list (List.map Cdex.Gate_cd.delta_cd printed));
-  Format.printf "drawn   : %a@." Sta.Timing.pp_summary r.Timing_opc.Flow.drawn_sta;
-  Format.printf "post-OPC: %a@." Sta.Timing.pp_summary r.Timing_opc.Flow.post_opc_sta;
-  Format.printf "delta   : %a@." Timing_opc.Compare.pp_slack_delta
-    (Timing_opc.Compare.slack_delta r.Timing_opc.Flow.drawn_sta r.Timing_opc.Flow.post_opc_sta);
-  Format.printf "reorder : %a@." Timing_opc.Compare.pp_reorder
-    (Timing_opc.Compare.path_reorder r.Timing_opc.Flow.drawn_sta r.Timing_opc.Flow.post_opc_sta);
-  List.iter
-    (fun ((c : Sta.Corners.corner), t) ->
-      Format.printf "corner %-18s: %a@."
-        (Format.asprintf "%a" Sta.Corners.pp c)
-        Sta.Timing.pp_summary t)
-    (Timing_opc.Flow.corner_views r ~spread);
-  Format.printf "leakage : drawn %.4f uA -> annotated %.4f uA@."
-    (Timing_opc.Flow.leakage r ~annotated:false)
-    (Timing_opc.Flow.leakage r ~annotated:true);
-  if report > 0 then begin
-    Format.printf "@.-- post-OPC timing paths --@.";
-    Sta.Path_report.write Format.std_formatter netlist r.Timing_opc.Flow.post_opc_sta
-      ~top:report
-  end;
-  if selective then begin
-    let margin = 5.0 in
-    let selected =
-      Timing_opc.Flow.critical_gates r ~view:r.Timing_opc.Flow.post_opc_sta ~margin
-    in
-    Format.printf "@.-- selective OPC: %d critical gate sites (margin %.1f ps) --@."
-      (List.length selected) margin;
-    let rs = Timing_opc.Flow.run_selective r ~selected in
-    Format.printf "%a@." Opc.Model_opc.pp_stats rs.Timing_opc.Flow.opc_stats;
-    Format.printf "selective post-OPC: %a@." Sta.Timing.pp_summary
-      rs.Timing_opc.Flow.post_opc_sta;
-    Format.printf "selective delta   : %a@." Timing_opc.Compare.pp_slack_delta
-      (Timing_opc.Compare.slack_delta r.Timing_opc.Flow.post_opc_sta
-         rs.Timing_opc.Flow.post_opc_sta)
-  end
+    Litho.Condition.pp config.Timing_opc.Flow.condition seed
+    config.Timing_opc.Flow.domains;
+  with_session ~bench config @@ fun session ->
+  Timing_opc_serve.Session.print_report Format.std_formatter session ~spread
+    ~report ~selective
+
+let serve_flow bench opc seed dose defocus shard domains no_cache faults
+    retries socket trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
+  Fault.set_plan (resolve_faults faults);
+  let config =
+    flow_config ~opc ~seed ~dose ~defocus ~shard ~domains ~no_cache ~retries
+      ~checkpoint_dir:"" ~resume:false
+  in
+  (* Diagnostics go to stderr: in stdio mode stdout carries nothing
+     but response lines (the golden script test compares its bytes). *)
+  Format.eprintf "serve: %s, OPC=%s, silicon %a, seed %d, domains %d@." bench
+    opc Litho.Condition.pp config.Timing_opc.Flow.condition seed
+    config.Timing_opc.Flow.domains;
+  with_session ~bench config @@ fun session ->
+  Format.eprintf "ready@.";
+  match socket with
+  | "" -> Timing_opc_serve.Server.serve_stdio session
+  | path ->
+      Format.eprintf "listening on %s@." path;
+      Timing_opc_serve.Server.serve_socket session ~path
 
 let bench_arg =
   Arg.(value & opt string "c17" & info [ "bench"; "b" ] ~doc:"Benchmark netlist name.")
@@ -266,6 +263,38 @@ let run_cmd =
       $ spread_arg $ report_arg $ shard_arg $ selective_arg $ domains_arg
       $ no_cache_arg $ faults_arg $ retries_arg $ checkpoint_arg $ resume_arg
       $ trace_arg $ metrics_arg)
+
+let socket_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "socket" ]
+        ~doc:
+          "Listen on a Unix-domain socket at $(docv) (one client at a time) \
+           instead of answering requests on stdin/stdout." ~docv:"PATH")
+
+let serve_cmd =
+  let doc =
+    "run the flow once, then answer timing queries against the warm state"
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Runs the full flow at startup and keeps the placed chip, post-OPC \
+         mask, aerial tile cache, extracted CDs and annotated timing graph \
+         resident.  Requests are JSONL, one object per line on stdin (or \
+         the socket); each gets exactly one response line, in request \
+         order.  Verbs: status, retime, whatif, cds, corner, metrics, \
+         shutdown — see the protocol reference in README.md.";
+      `P
+        "Responses are byte-deterministic: the same request script yields \
+         identical bytes for any $(b,--domains), $(b,--shard) or tile-cache \
+         state, and each reply equals the matching cold one-shot run." ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const serve_flow $ bench_arg $ opc_arg $ seed_arg $ dose_arg
+      $ defocus_arg $ shard_arg $ domains_arg $ no_cache_arg $ faults_arg
+      $ retries_arg $ socket_arg $ trace_arg $ metrics_arg)
 
 (* ---- cells ---- *)
 
@@ -543,5 +572,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; cells_cmd; litho_cmd; drc_cmd; liberty_cmd; export_cmd;
-            cds_cmd; obs_check_cmd ]))
+          [ run_cmd; serve_cmd; cells_cmd; litho_cmd; drc_cmd; liberty_cmd;
+            export_cmd; cds_cmd; obs_check_cmd ]))

@@ -4,10 +4,18 @@
 # fails; failures are collected and reported in one summary line, and
 # the script exits nonzero if any case failed.
 #
-#   usage: smoke.sh path/to/potx.exe path/to/bench_main.exe
+#   usage: smoke.sh path/to/potx.exe path/to/bench_main.exe \
+#            [serve_script.jsonl serve_golden.txt]
+#
+# The optional pair names the canonical serve request script and its
+# golden response capture (test/serve_script_c17.jsonl and
+# test/golden/serve_script_c17.txt); without them the serve case is
+# skipped.
 
-POTX=${1:?usage: smoke.sh POTX BENCH_MAIN}
-BENCH=${2:?usage: smoke.sh POTX BENCH_MAIN}
+POTX=${1:?usage: smoke.sh POTX BENCH_MAIN [SERVE_SCRIPT SERVE_GOLDEN]}
+BENCH=${2:?usage: smoke.sh POTX BENCH_MAIN [SERVE_SCRIPT SERVE_GOLDEN]}
+SERVE_SCRIPT=${3:-}
+SERVE_GOLDEN=${4:-}
 
 # Under dune, %{exe:...} can expand to a bare file name; qualify it so
 # the shell executes it by path instead of searching $PATH.
@@ -110,6 +118,21 @@ case_shard_identity() {
   return $ok
 }
 
+# The resident timing service: pipe the canonical request script into
+# a warm `potx serve` session, hold the response stream to the golden
+# capture at 1 and 4 worker domains (the byte-determinism contract),
+# and check the session actually counted its requests.
+case_serve() {
+  "$POTX" serve --bench c17 --metrics "$work/serve_metrics.jsonl" \
+    < "$SERVE_SCRIPT" > "$work/serve.out" 2> /dev/null &&
+    cmp "$SERVE_GOLDEN" "$work/serve.out" &&
+    "$POTX" serve --bench c17 --domains 4 < "$SERVE_SCRIPT" \
+      > "$work/serve_d4.out" 2> /dev/null &&
+    cmp "$SERVE_GOLDEN" "$work/serve_d4.out" &&
+    "$POTX" obs-check --metrics "$work/serve_metrics.jsonl" \
+      --require-nonzero serve.requests
+}
+
 # Shard-granular checkpoints: a sharded resume loads per-shard CD
 # stages and still reproduces the monolithic stdout.
 case_shard_resume() {
@@ -133,6 +156,11 @@ run_case fault-retry case_fault_retry
 run_case checkpoint-resume case_checkpoint_resume
 run_case shard-identity case_shard_identity
 run_case shard-resume case_shard_resume
+if [ -n "$SERVE_SCRIPT" ] && [ -n "$SERVE_GOLDEN" ]; then
+  run_case serve case_serve
+else
+  echo "== serve == (skipped: pass SERVE_SCRIPT and SERVE_GOLDEN to enable)"
+fi
 
 if [ -n "$failed" ]; then
   echo "smoke.sh: FAILED:$failed"

@@ -49,6 +49,25 @@ val extract :
   unit ->
   Gate_cd.t list
 
+(** {1 Region scoping}
+
+    The timing service answers "CDs for region R" against warm
+    whole-chip state; these are the scoping predicates it (and any
+    other region-granular client) composes with {!extract} or with an
+    already-extracted record list, instead of re-deriving the
+    gate-to-region rule from geometry internals. *)
+
+(** [in_region ~region g] holds when the placed gate rect of [g]
+    touches [region] (closed-rectangle contact, matching
+    {!Geometry.Rect.touches}). *)
+val in_region : region:Geometry.Rect.t -> Layout.Chip.gate_ref -> bool
+
+(** [gates_in ~region gates] filters [gates] to the sites touching
+    [region], preserving input order — so extraction over the result
+    is the region-scoped restriction of extraction over [gates]. *)
+val gates_in :
+  region:Geometry.Rect.t -> Layout.Chip.gate_ref list -> Layout.Chip.gate_ref list
+
 (** Run [extract] for several conditions (sharing the tiling). *)
 val extract_conditions :
   ?pool:Exec.Pool.t ->

@@ -552,6 +552,58 @@ let run_selective r ~selected =
   in
   { r with mask; opc_stats; cds; annotation; post_opc_sta }
 
+(* --- warm re-query API (used by Timing_opc_serve) ----------------- *)
+
+(* Re-queries may be handed a long-lived pool owned by the caller (one
+   pool shared across service requests); without one they fall back to
+   the per-call flow pool.  Results are bit-identical either way. *)
+let with_pool_opt ?pool config f =
+  match pool with Some _ -> f pool | None -> with_flow_pool config f
+
+let lengths_of r = lengths_of_annotation r.annotation r.netlist
+
+let time_with r ~lengths_of =
+  let delay = Sta.Timing.model_delay r.config.env ~lengths_of in
+  Sta.Timing.analyze r.netlist ~loads:r.loads ~delay
+    ~clock_period:r.clock_period ()
+
+let retime r ?previous ~changed ~lengths_of () =
+  let previous = Option.value previous ~default:r.post_opc_sta in
+  let delay = Sta.Timing.model_delay r.config.env ~lengths_of in
+  Sta.Incremental.update r.netlist ~previous ~changed ~loads:r.loads ~delay ()
+
+let annotate config cds =
+  Cdex.Annotate.build ~nmos:config.env.Circuit.Delay_model.nmos
+    ~pmos:config.env.Circuit.Delay_model.pmos cds
+
+let extract_at ?pool ?gates ?condition ?chip ?mask r =
+  let config = r.config in
+  let condition = Option.value condition ~default:config.condition in
+  let chip = Option.value chip ~default:r.chip in
+  let mask = Option.value mask ~default:r.mask in
+  let gates =
+    match gates with Some g -> g | None -> Layout.Chip.gates chip
+  in
+  Obs.Span.with_ ~name:"flow.extract_at"
+    ~attrs:(fun () -> [ ("gates", string_of_int (List.length gates)) ])
+  @@ fun () ->
+  Litho.Tile_cache.set_enabled config.cache;
+  let litho = litho_model config in
+  with_pool_opt ?pool config (fun pool ->
+      Cdex.Extract.extract ?pool ~retry:config.retry litho condition
+        ~mask:(Opc.Mask.source mask) ~gates ~slices:config.slices
+        ~tile:config.tile ()
+      |> add_silicon_noise config)
+
+let reopc_chip ?pool r chip =
+  let config = r.config in
+  Obs.Span.with_ ~name:"flow.reopc_chip" @@ fun () ->
+  Litho.Tile_cache.set_enabled config.cache;
+  let litho = litho_model config in
+  let shards = shard_plan config litho chip in
+  with_pool_opt ?pool config (fun pool ->
+      opc_of_config ?pool config litho chip ~shards)
+
 let leakage r ~annotated =
   Array.fold_left
     (fun acc (g : Circuit.Netlist.gate) ->

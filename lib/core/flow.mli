@@ -116,3 +116,70 @@ val run_selective : run -> selected:Layout.Chip.gate_ref list -> run
 (** Total netlist leakage in uA.  [annotated] uses each device's
     extracted leakage-equivalent length; otherwise drawn. *)
 val leakage : run -> annotated:bool -> float
+
+(** {1 Warm re-query API}
+
+    Stage-level entry points over a completed {!run} — the warm state
+    a resident service ([Timing_opc_serve]) holds in memory — so
+    re-queries compose public signatures instead of reaching through
+    flow internals.  Shared contract: every function is a
+    deterministic pure function of its arguments and the run's config,
+    so results are byte-identical regardless of worker-domain count,
+    shard count or tile-cache state (the [Exec.Pool] /
+    [Litho.Tile_cache] invariants), and a warm re-query equals the
+    same computation performed cold. *)
+
+(** Per-instance effective lengths of the run's own annotation
+    (memoised table over [run.annotation], same reduction as
+    {!lengths_of_annotation}). *)
+val lengths_of : run -> string -> Circuit.Delay_model.lengths option
+
+(** Full STA of the run's netlist under an alternative lengths view,
+    with the run's loads and clock period — the cold reference for
+    {!retime}. *)
+val time_with :
+  run ->
+  lengths_of:(string -> Circuit.Delay_model.lengths option) ->
+  Sta.Timing.t
+
+(** Incremental re-timing via {!Sta.Incremental}: recompute only the
+    fan-out cones of [changed] instances starting from [previous]
+    (default the run's post-OPC view), under the new lengths view.
+    Returns the timing plus the number of gates re-evaluated. *)
+val retime :
+  run ->
+  ?previous:Sta.Timing.t ->
+  changed:string list ->
+  lengths_of:(string -> Circuit.Delay_model.lengths option) ->
+  unit ->
+  Sta.Timing.t * int
+
+(** Back-annotate a CD record list with the config's device models
+    (the flow's annotate stage as a standalone step). *)
+val annotate : config -> Cdex.Gate_cd.t list -> Cdex.Annotate.t
+
+(** Re-run CD extraction against warm state: by default the run's own
+    chip, mask, full gate set and silicon condition, each overridable
+    for what-if and corner queries ([gates] for region- or
+    dirty-scoped re-extraction, [condition] for a process-window
+    re-measure, [chip]/[mask] for a perturbed layout).  Applies the
+    same per-gate silicon noise as {!run} (seeded per gate key, so a
+    re-extraction of a subset splices bit-identically into the run's
+    records).  Uses [pool] when given, else an internal pool per
+    [config.domains]; no checkpointing — ad-hoc queries are not
+    stages. *)
+val extract_at :
+  ?pool:Exec.Pool.t ->
+  ?gates:Layout.Chip.gate_ref list ->
+  ?condition:Litho.Condition.t ->
+  ?chip:Layout.Chip.t ->
+  ?mask:Opc.Mask.t ->
+  run ->
+  Cdex.Gate_cd.t list
+
+(** Full-chip OPC of a replacement chip under the run's config (style,
+    shard plan, dirty-tile incremental simulation and tile cache all
+    as in {!run}) — the mask side of a geometric what-if.  No
+    checkpointing. *)
+val reopc_chip :
+  ?pool:Exec.Pool.t -> run -> Layout.Chip.t -> Opc.Mask.t * Opc.Model_opc.stats

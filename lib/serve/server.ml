@@ -1,0 +1,46 @@
+let is_shutdown (response : Protocol.response) =
+  match response.Protocol.reply with
+  | Ok Protocol.Shutdown_r -> true
+  | _ -> false
+
+let serve_channels session ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> false
+    | line ->
+        if String.trim line = "" then loop ()
+        else begin
+          let response = Session.handle_line session line in
+          output_string oc (Protocol.response_to_string response);
+          output_char oc '\n';
+          flush oc;
+          if is_shutdown response then true else loop ()
+        end
+  in
+  loop ()
+
+let serve_stdio session = ignore (serve_channels session stdin stdout)
+
+let serve_socket session ~path =
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 1;
+  let rec accept_loop () =
+    let client, _addr = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr client
+    and oc = Unix.out_channel_of_descr client in
+    let stop =
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close client with Unix.Unix_error _ -> ())
+        (fun () -> serve_channels session ic oc)
+    in
+    if not stop then accept_loop ()
+  in
+  accept_loop ()

@@ -1,0 +1,28 @@
+(** The request/response loop around a warm {!Session}.
+
+    One line in, one line out: requests are handled strictly in the
+    order read and each response is written and flushed before the
+    next request is read, so per-request outputs appear in request
+    order no matter how a client batches its writes — one leg of the
+    byte-determinism contract.
+
+    Two transports share the loop: stdio (the default for [potx
+    serve]; stdout carries only response lines, diagnostics go to
+    stderr) and a Unix-domain socket serving one client connection at
+    a time.  A [shutdown] request answers, then stops the loop; on
+    the socket transport it also stops accepting and removes the
+    socket file. *)
+
+(** [serve_channels session ic oc] answers requests from [ic] on [oc]
+    until end-of-input or a [shutdown] request.  Returns [true] when
+    the loop ended because of [shutdown] (used by the socket accept
+    loop), [false] on end-of-input. *)
+val serve_channels : Session.t -> in_channel -> out_channel -> bool
+
+(** Serve stdin/stdout until end-of-input or [shutdown]. *)
+val serve_stdio : Session.t -> unit
+
+(** Bind a Unix-domain socket at [path] (an existing file there is
+    replaced), then accept and serve one client at a time until some
+    client sends [shutdown].  The socket file is removed on return. *)
+val serve_socket : Session.t -> path:string -> unit

@@ -1,0 +1,368 @@
+module Flow = Timing_opc.Flow
+
+type t = {
+  bench : string;
+  run : Flow.run;
+  pool : Exec.Pool.t option;  (* session-owned, shared across requests *)
+  lengths : string -> Circuit.Delay_model.lengths option;  (* memoised *)
+  counters : (string, int ref) Hashtbl.t;
+  mutable next_seq : int;
+  mutable closed : bool;
+}
+
+let create ?(bench = "?") config netlist =
+  let run = Flow.run config netlist in
+  let pool =
+    if config.Flow.domains > 1 then
+      Some (Exec.Pool.create ~name:"serve" ~domains:config.Flow.domains ())
+    else None
+  in
+  {
+    bench;
+    run;
+    pool;
+    lengths = Flow.lengths_of run;
+    counters = Hashtbl.create 16;
+    next_seq = 0;
+    closed = false;
+  }
+
+let run t = t.run
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Option.iter Exec.Pool.shutdown t.pool
+  end
+
+(* Session-local counters drive the [metrics] verb (so replies depend
+   only on this session's history); the global registry mirror is for
+   --metrics dumps and obs-check. *)
+let bump t name =
+  (match Hashtbl.find_opt t.counters name with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.counters name (ref 1));
+  Obs.Metrics.incr (Obs.Metrics.counter name)
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---- verb implementations --------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let path_report (p : Sta.Timing.path) =
+  {
+    Protocol.endpoint = p.Sta.Timing.endpoint;
+    arrival = p.Sta.Timing.arrival;
+    slack = p.Sta.Timing.slack;
+    gates = p.Sta.Timing.gates;
+  }
+
+let worst_path (timing : Sta.Timing.t) = function
+  | None -> (
+      match timing.Sta.Timing.paths with
+      | p :: _ -> Ok p
+      | [] -> Error "netlist has no endpoints")
+  | Some endpoint -> (
+      match
+        List.find_opt
+          (fun (p : Sta.Timing.path) -> p.Sta.Timing.endpoint = endpoint)
+          timing.Sta.Timing.paths
+      with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "unknown endpoint net %d" endpoint))
+
+let status t =
+  let r = t.run in
+  let netlist = r.Flow.netlist in
+  Ok
+    (Protocol.Status_r
+       {
+         bench = t.bench;
+         gates = Circuit.Netlist.num_gates netlist;
+         nets = netlist.Circuit.Netlist.num_nets;
+         clock_period = r.Flow.clock_period;
+         drawn_wns = r.Flow.drawn_sta.Sta.Timing.wns;
+         wns = r.Flow.post_opc_sta.Sta.Timing.wns;
+         tns = r.Flow.post_opc_sta.Sta.Timing.tns;
+         cds = List.length r.Flow.cds;
+       })
+
+(* Revalidate the warm timing view through Sta.Incremental (an empty
+   changed set re-times nothing) and report the requested path. *)
+let retime t endpoint =
+  let timing, reevaluated =
+    Flow.retime t.run ~changed:[] ~lengths_of:t.lengths ()
+  in
+  let* p = worst_path timing endpoint in
+  Ok (Protocol.Retime_r { path = path_report p; reevaluated })
+
+let resize t gate dl =
+  match Circuit.Netlist.find_gate t.run.Flow.netlist gate with
+  | None -> Error (Printf.sprintf "unknown gate %S" gate)
+  | Some _ ->
+      let drawn =
+        Circuit.Delay_model.drawn_lengths t.run.Flow.config.Flow.tech
+      in
+      let lengths_of name =
+        if String.equal name gate then
+          let base = Option.value (t.lengths name) ~default:drawn in
+          Some
+            {
+              Circuit.Delay_model.l_n = base.Circuit.Delay_model.l_n +. dl;
+              l_p = base.Circuit.Delay_model.l_p +. dl;
+            }
+        else t.lengths name
+      in
+      let timing, reevaluated =
+        Flow.retime t.run ~changed:[ gate ] ~lengths_of ()
+      in
+      let* p = worst_path timing None in
+      Ok
+        (Protocol.Whatif_r
+           {
+             gate;
+             wns_before = t.run.Flow.post_opc_sta.Sta.Timing.wns;
+             wns_after = timing.Sta.Timing.wns;
+             worst = path_report p;
+             reevaluated;
+             remeasured = 0;
+           })
+
+(* Rebuild the chip with the instance translated by (dx, dy). *)
+let chip_with_move chip ~inst ~dx ~dy =
+  let moved = Layout.Chip.create (Layout.Chip.tech chip) in
+  List.iter
+    (fun (i : Layout.Chip.instance) ->
+      let placement =
+        if String.equal i.Layout.Chip.iname inst then
+          {
+            i.Layout.Chip.placement with
+            Geometry.Transform.offset =
+              Geometry.Point.add i.Layout.Chip.placement.Geometry.Transform.offset
+                (Geometry.Point.make dx dy);
+          }
+        else i.Layout.Chip.placement
+      in
+      Layout.Chip.add moved ~iname:i.Layout.Chip.iname ~cell:i.Layout.Chip.cell
+        placement)
+    (Layout.Chip.instances chip);
+  moved
+
+let inst_gate_rects chip inst =
+  List.filter_map
+    (fun (g : Layout.Chip.gate_ref) ->
+      if String.equal g.Layout.Chip.inst inst then Some g.Layout.Chip.gate
+      else None)
+    (Layout.Chip.gates chip)
+
+let move t gate dx dy =
+  let r = t.run in
+  let config = r.Flow.config in
+  match Layout.Chip.find_instance r.Flow.chip gate with
+  | None -> Error (Printf.sprintf "unknown instance %S" gate)
+  | Some _ ->
+      let chip = chip_with_move r.Flow.chip ~inst:gate ~dx ~dy in
+      let mask, _opc_stats = Flow.reopc_chip ?pool:t.pool r chip in
+      (* Gate sites whose aerial image the move can reach: the hull of
+         the old and new instance footprints, inflated by the optical
+         halo plus a full tile on each side (tiles are simulated
+         whole, so a dirtied tile re-measures everything in it). *)
+      let halo = (Flow.litho_model config).Litho.Model.halo in
+      let reach = (2 * config.Flow.tile) + (2 * halo) in
+      let die_changed =
+        match (Layout.Chip.die r.Flow.chip, Layout.Chip.die chip) with
+        | Some a, Some b -> not (Geometry.Rect.equal a b)
+        | _ -> true
+      in
+      let gates =
+        if die_changed then Layout.Chip.gates chip
+        else
+          let footprint =
+            Geometry.Rect.hull_of_list
+              (inst_gate_rects r.Flow.chip gate @ inst_gate_rects chip gate)
+          in
+          let region = Geometry.Rect.inflate footprint reach in
+          Cdex.Extract.gates_in ~region (Layout.Chip.gates chip)
+      in
+      let fresh = Flow.extract_at ?pool:t.pool ~gates ~chip ~mask r in
+      (* Splice re-measured sites into the warm records by gate key:
+         silicon noise is seeded per (seed, gate key), so a subset
+         re-extraction is bit-identical to the full one. *)
+      let by_key = Hashtbl.create (List.length fresh) in
+      List.iter
+        (fun (c : Cdex.Gate_cd.t) ->
+          Hashtbl.replace by_key (Layout.Chip.gate_key c.Cdex.Gate_cd.gate) c)
+        fresh;
+      let cds =
+        List.map
+          (fun (c : Cdex.Gate_cd.t) ->
+            match
+              Hashtbl.find_opt by_key (Layout.Chip.gate_key c.Cdex.Gate_cd.gate)
+            with
+            | Some f -> f
+            | None -> c)
+          r.Flow.cds
+      in
+      let annotation = Flow.annotate config cds in
+      let lengths_of = Flow.lengths_of_annotation annotation r.Flow.netlist in
+      let changed =
+        Array.to_list r.Flow.netlist.Circuit.Netlist.gates
+        |> List.filter_map (fun (g : Circuit.Netlist.gate) ->
+               let name = g.Circuit.Netlist.gname in
+               if t.lengths name = lengths_of name then None else Some name)
+      in
+      let timing, reevaluated =
+        Flow.retime t.run ~changed ~lengths_of ()
+      in
+      let* p = worst_path timing None in
+      Ok
+        (Protocol.Whatif_r
+           {
+             gate;
+             wns_before = r.Flow.post_opc_sta.Sta.Timing.wns;
+             wns_after = timing.Sta.Timing.wns;
+             worst = path_report p;
+             reevaluated;
+             remeasured = List.length gates;
+           })
+
+let cd_record (c : Cdex.Gate_cd.t) =
+  {
+    Protocol.gate = Layout.Chip.gate_key c.Cdex.Gate_cd.gate;
+    cd =
+      (if c.Cdex.Gate_cd.printed then Cdex.Gate_cd.mean_cd c
+       else float_of_int c.Cdex.Gate_cd.gate.Layout.Chip.drawn_l);
+    delta = (if c.Cdex.Gate_cd.printed then Cdex.Gate_cd.delta_cd c else 0.0);
+    printed = c.Cdex.Gate_cd.printed;
+  }
+
+let cds t region =
+  let records =
+    match region with
+    | None -> t.run.Flow.cds
+    | Some region ->
+        List.filter
+          (fun (c : Cdex.Gate_cd.t) ->
+            Cdex.Extract.in_region ~region c.Cdex.Gate_cd.gate)
+          t.run.Flow.cds
+  in
+  Ok (Protocol.Cds_r (List.map cd_record records))
+
+(* Re-measure every gate at the requested process condition (tile
+   cache absorbs repeats across corner queries) and re-time under the
+   resulting annotation. *)
+let corner t ~dose ~defocus ~spread =
+  let r = t.run in
+  let condition = Litho.Condition.make ~dose ~defocus in
+  let cds = Flow.extract_at ?pool:t.pool ~condition r in
+  let annotation = Flow.annotate r.Flow.config cds in
+  let timing =
+    Flow.time_with r
+      ~lengths_of:(Flow.lengths_of_annotation annotation r.Flow.netlist)
+  in
+  let corners =
+    match spread with
+    | None -> []
+    | Some spread ->
+        List.map
+          (fun ((c : Sta.Corners.corner), (view : Sta.Timing.t)) ->
+            (c.Sta.Corners.name, view.Sta.Timing.wns))
+          (Flow.corner_views r ~spread)
+  in
+  Ok
+    (Protocol.Corner_r
+       {
+         dose;
+         defocus;
+         wns = timing.Sta.Timing.wns;
+         tns = timing.Sta.Timing.tns;
+         corners;
+       })
+
+let handle t (request : Protocol.request) =
+  match request with
+  | Protocol.Status -> status t
+  | Protocol.Retime { endpoint } -> retime t endpoint
+  | Protocol.Whatif { gate; change = Protocol.Resize { dl } } ->
+      resize t gate dl
+  | Protocol.Whatif { gate; change = Protocol.Move { dx; dy } } ->
+      move t gate dx dy
+  | Protocol.Cds { region } -> cds t region
+  | Protocol.Corner { dose; defocus; spread } -> corner t ~dose ~defocus ~spread
+  | Protocol.Metrics -> Ok (Protocol.Metrics_r (counters t))
+  | Protocol.Shutdown -> Ok Protocol.Shutdown_r
+
+let handle_line t line =
+  t.next_seq <- t.next_seq + 1;
+  let seq = t.next_seq in
+  bump t "serve.requests";
+  match Protocol.parse_request line with
+  | Error e ->
+      bump t "serve.errors";
+      { Protocol.id = seq; verb = None; reply = Error e }
+  | Ok (explicit_id, request) ->
+      let id = Option.value explicit_id ~default:seq in
+      let verb = Protocol.verb request in
+      bump t ("serve.verb." ^ verb);
+      let reply =
+        match
+          Obs.Span.with_ ~name:("serve." ^ verb) (fun () ->
+              Fault.point "serve.handle" (fun () -> handle t request))
+        with
+        | reply -> reply
+        | exception Fault.Injected point ->
+            Error (Printf.sprintf "fault injected at %s" point)
+        | exception Failure msg -> Error msg
+      in
+      (match reply with Error _ -> bump t "serve.errors" | Ok _ -> ());
+      { Protocol.id; verb = Some verb; reply }
+
+(* ---- the classic one-shot report -------------------------------- *)
+
+let print_report ppf t ~spread ~report ~selective =
+  let open Timing_opc in
+  let r = t.run in
+  Format.fprintf ppf "%a@." Layout.Chip.pp r.Flow.chip;
+  Format.fprintf ppf "%a@." Opc.Model_opc.pp_stats r.Flow.opc_stats;
+  let printed =
+    List.filter (fun c -> c.Cdex.Gate_cd.printed) r.Flow.cds
+  in
+  Format.fprintf ppf "gate dCD: %a@." Stats.Summary.pp
+    (Stats.Summary.of_list (List.map Cdex.Gate_cd.delta_cd printed));
+  Format.fprintf ppf "drawn   : %a@." Sta.Timing.pp_summary r.Flow.drawn_sta;
+  Format.fprintf ppf "post-OPC: %a@." Sta.Timing.pp_summary r.Flow.post_opc_sta;
+  Format.fprintf ppf "delta   : %a@." Compare.pp_slack_delta
+    (Compare.slack_delta r.Flow.drawn_sta r.Flow.post_opc_sta);
+  Format.fprintf ppf "reorder : %a@." Compare.pp_reorder
+    (Compare.path_reorder r.Flow.drawn_sta r.Flow.post_opc_sta);
+  List.iter
+    (fun ((c : Sta.Corners.corner), view) ->
+      Format.fprintf ppf "corner %-18s: %a@."
+        (Format.asprintf "%a" Sta.Corners.pp c)
+        Sta.Timing.pp_summary view)
+    (Flow.corner_views r ~spread);
+  Format.fprintf ppf "leakage : drawn %.4f uA -> annotated %.4f uA@."
+    (Flow.leakage r ~annotated:false)
+    (Flow.leakage r ~annotated:true);
+  if report > 0 then begin
+    Format.fprintf ppf "@.-- post-OPC timing paths --@.";
+    Sta.Path_report.write ppf r.Flow.netlist r.Flow.post_opc_sta ~top:report
+  end;
+  if selective then begin
+    let margin = 5.0 in
+    let selected =
+      Flow.critical_gates r ~view:r.Flow.post_opc_sta ~margin
+    in
+    Format.fprintf ppf
+      "@.-- selective OPC: %d critical gate sites (margin %.1f ps) --@."
+      (List.length selected) margin;
+    let rs = Flow.run_selective r ~selected in
+    Format.fprintf ppf "%a@." Opc.Model_opc.pp_stats rs.Flow.opc_stats;
+    Format.fprintf ppf "selective post-OPC: %a@." Sta.Timing.pp_summary
+      rs.Flow.post_opc_sta;
+    Format.fprintf ppf "selective delta   : %a@." Compare.pp_slack_delta
+      (Compare.slack_delta r.Flow.post_opc_sta rs.Flow.post_opc_sta)
+  end

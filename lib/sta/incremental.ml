@@ -1,6 +1,14 @@
 module N = Circuit.Netlist
 
+let m_updates = Obs.Metrics.counter "sta.incremental.updates"
+
+let m_reevaluated = Obs.Metrics.counter "sta.incremental.reevaluated"
+
 let update (netlist : N.t) ~previous ~changed ~loads ~delay ?(epsilon = 1e-9) () =
+  Obs.Span.with_ ~name:"sta.incremental"
+    ~attrs:(fun () -> [ ("changed", string_of_int (List.length changed)) ])
+  @@ fun () ->
+  Obs.Metrics.incr m_updates;
   let n = netlist.N.num_nets in
   let arrival = Array.copy previous.Timing.arrival in
   let slew = Array.copy previous.Timing.slew in
@@ -70,4 +78,5 @@ let update (netlist : N.t) ~previous ~changed ~loads ~delay ?(epsilon = 1e-9) ()
       0.0 paths
   in
   ( { Timing.arrival; slew; paths; wns; tns; clock_period; driver; pred },
-    !reevaluated )
+    ( Obs.Metrics.add m_reevaluated !reevaluated;
+      !reevaluated ) )

@@ -5,7 +5,12 @@
     gates makes the loop cheap on large designs.  Unchanged gates reuse
     the previous analysis' arrival/slew/worst-arc state; a gate is
     re-evaluated when it was changed explicitly or any of its input
-    arrivals/slews moved by more than [epsilon]. *)
+    arrivals/slews moved by more than [epsilon].
+
+    This is the hot path of the resident timing service's [retime] and
+    [whatif] verbs; each call records a [sta.incremental] span and the
+    [sta.incremental.updates] / [sta.incremental.reevaluated]
+    counters (both deterministic for a given call sequence). *)
 
 (** [update netlist ~previous ~changed ~loads ~delay] returns a full
     {!Timing.t} equal (within [epsilon], default 1e-9 ps) to a fresh

@@ -1,0 +1,435 @@
+(* The resident timing service: protocol round-trips, warm-vs-cold
+   reply identity, request-order byte determinism across worker-domain
+   counts, and session survival of injected faults.
+
+   The warm sessions here run the same reduced config as test_shard
+   (tile=1500, 2 OPC iterations, 3 slices) so a full flow warm-up is
+   cheap enough to repeat per domain count. *)
+
+module F = Timing_opc.Flow
+module P = Timing_opc_serve.Protocol
+module Session = Timing_opc_serve.Session
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let checks = Alcotest.(check string)
+
+let check_ps what = Alcotest.(check (float 1e-6)) what
+
+let base_config ?(domains = 1) () =
+  let c = F.default_config () in
+  {
+    c with
+    F.opc_config = { c.F.opc_config with Opc.Model_opc.iterations = 2 };
+    slices = 3;
+    tile = 1500;
+    domains;
+    retry = Fault.no_retry;
+    checkpoint = None;
+  }
+
+let session_for =
+  let cache = Hashtbl.create 4 in
+  (* Pools own spawned domains; join them before the test binary exits. *)
+  at_exit (fun () -> Hashtbl.iter (fun _ s -> Session.close s) cache);
+  fun domains ->
+    match Hashtbl.find_opt cache domains with
+    | Some s -> s
+    | None ->
+        let s =
+          Session.create ~bench:"c17" (base_config ~domains ())
+            (Circuit.Generator.c17 ())
+        in
+        Hashtbl.add cache domains s;
+        s
+
+(* ---- protocol ---- *)
+
+let all_requests =
+  [
+    P.Status;
+    P.Retime { endpoint = None };
+    P.Retime { endpoint = Some 9 };
+    P.Whatif { gate = "g22"; change = P.Resize { dl = 3.5 } };
+    P.Whatif { gate = "g22"; change = P.Move { dx = 400; dy = -200 } };
+    P.Cds { region = None };
+    P.Cds { region = Some (Geometry.Rect.make ~lx:0 ~ly:0 ~hx:3000 ~hy:3000) };
+    P.Corner { dose = 1.03; defocus = 90.0; spread = None };
+    P.Corner { dose = 0.97; defocus = 30.0; spread = Some 8.0 };
+    P.Metrics;
+    P.Shutdown;
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      match P.parse_request (P.request_to_string ~id:7 r) with
+      | Ok (Some 7, r') ->
+          checkb ("roundtrip " ^ P.verb r) true (r = r')
+      | Ok _ -> Alcotest.failf "lost id on %s" (P.verb r)
+      | Error e -> Alcotest.failf "%s failed to reparse: %s" (P.verb r) e)
+    all_requests;
+  (* Without an id the parse must report None (server assigns one). *)
+  (match P.parse_request (P.request_to_string P.Status) with
+  | Ok (None, P.Status) -> ()
+  | _ -> Alcotest.fail "id-less status");
+  ()
+
+let sample_path =
+  { P.endpoint = 9; arrival = 38.25; slack = 2.5; gates = [ "g11"; "g22" ] }
+
+let all_replies =
+  [
+    ( "status",
+      P.Status_r
+        {
+          bench = "c17";
+          gates = 6;
+          nets = 11;
+          clock_period = 40.625;
+          drawn_wns = 1.875;
+          wns = 2.25;
+          tns = 0.0;
+          cds = 24;
+        } );
+    ("retime", P.Retime_r { path = sample_path; reevaluated = 0 });
+    ( "whatif",
+      P.Whatif_r
+        {
+          gate = "g22";
+          wns_before = 2.25;
+          wns_after = 1.75;
+          worst = sample_path;
+          reevaluated = 3;
+          remeasured = 8;
+        } );
+    ( "cds",
+      P.Cds_r
+        [
+          { P.gate = "g10/MN0"; cd = 88.5; delta = -1.5; printed = true };
+          { P.gate = "g10/MP0"; cd = 90.0; delta = 0.0; printed = false };
+        ] );
+    ( "corner",
+      P.Corner_r
+        {
+          dose = 1.03;
+          defocus = 90.0;
+          wns = 1.625;
+          tns = -0.5;
+          corners = [ ("fast", 6.25); ("nominal", 1.875); ("slow", -2.375) ];
+        } );
+    ("metrics", P.Metrics_r [ ("serve.requests", 5); ("serve.verb.cds", 1) ]);
+    ("shutdown", P.Shutdown_r);
+  ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun (verb, reply) ->
+      let r = { P.id = 3; verb = Some verb; reply = Ok reply } in
+      match P.parse_response (P.response_to_string r) with
+      | Ok r' -> checkb ("roundtrip " ^ verb) true (r = r')
+      | Error e -> Alcotest.failf "%s reply failed to reparse: %s" verb e)
+    all_replies;
+  let err = { P.id = 4; verb = None; reply = Error "bad JSON: oops" } in
+  (match P.parse_response (P.response_to_string err) with
+  | Ok r' -> checkb "error roundtrip" true (err = r')
+  | Error e -> Alcotest.failf "error reply failed to reparse: %s" e);
+  ()
+
+let malformed =
+  [
+    "";
+    "{";
+    "[1,2]";
+    "42";
+    {|{"gate":"g10"}|};
+    {|{"verb":"zap"}|};
+    {|{"verb":7}|};
+    {|{"id":3.5,"verb":"status"}|};
+    {|{"verb":"whatif","gate":"g10"}|};
+    {|{"verb":"whatif","gate":"g10","dl":1,"dx":2}|};
+    {|{"verb":"whatif","dl":1}|};
+    {|{"verb":"cds","lx":1}|};
+    {|{"verb":"cds","lx":1,"ly":2,"hx":3}|};
+    {|{"verb":"corner","dose":1.0}|};
+    {|{"verb":"corner","defocus":30}|};
+    {|{"verb":"retime","endpoint":1.5}|};
+  ]
+
+let test_malformed_requests () =
+  List.iter
+    (fun line ->
+      match P.parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed request %S" line)
+    malformed
+
+(* ---- warm vs cold identity ---- *)
+
+let reply_exn s request =
+  match Session.handle s request with
+  | Ok reply -> reply
+  | Error e -> Alcotest.failf "%s failed: %s" (P.verb request) e
+
+let test_status_matches_run () =
+  let s = session_for 1 in
+  let r = Session.run s in
+  match reply_exn s P.Status with
+  | P.Status_r st ->
+      checks "bench" "c17" st.bench;
+      checki "gates" (Circuit.Netlist.num_gates r.F.netlist) st.gates;
+      checki "cds" (List.length r.F.cds) st.cds;
+      check_ps "wns" r.F.post_opc_sta.Sta.Timing.wns st.wns
+  | _ -> Alcotest.fail "not a status reply"
+
+(* retime must reproduce the warm view: an empty change set through
+   Sta.Incremental re-evaluates nothing and returns the same paths a
+   cold full analyze would. *)
+let test_retime_matches_cold () =
+  let s = session_for 1 in
+  let r = Session.run s in
+  let cold = F.time_with r ~lengths_of:(F.lengths_of r) in
+  (match reply_exn s (P.Retime { endpoint = None }) with
+  | P.Retime_r { path; reevaluated } ->
+      checki "nothing re-evaluated" 0 reevaluated;
+      let worst = List.hd cold.Sta.Timing.paths in
+      checki "endpoint" worst.Sta.Timing.endpoint path.P.endpoint;
+      check_ps "arrival" worst.Sta.Timing.arrival path.P.arrival;
+      check_ps "slack" worst.Sta.Timing.slack path.P.slack;
+      checkb "gates" true (worst.Sta.Timing.gates = path.P.gates)
+  | _ -> Alcotest.fail "not a retime reply");
+  (* Per-endpoint retime agrees with the cold path list too. *)
+  List.iter
+    (fun (p : Sta.Timing.path) ->
+      match reply_exn s (P.Retime { endpoint = Some p.Sta.Timing.endpoint }) with
+      | P.Retime_r { path; _ } ->
+          check_ps "endpoint arrival" p.Sta.Timing.arrival path.P.arrival
+      | _ -> Alcotest.fail "not a retime reply")
+    cold.Sta.Timing.paths
+
+(* Every resize what-if equals the cold batch computation: a full
+   Timing.analyze under the biased lengths view. *)
+let test_resize_matches_cold () =
+  let s = session_for 1 in
+  let r = Session.run s in
+  let lengths = F.lengths_of r in
+  let drawn = Circuit.Delay_model.drawn_lengths r.F.config.F.tech in
+  let cold_wns gate dl =
+    let lengths_of name =
+      if String.equal name gate then
+        let base = Option.value (lengths name) ~default:drawn in
+        Some
+          {
+            Circuit.Delay_model.l_n = base.Circuit.Delay_model.l_n +. dl;
+            l_p = base.Circuit.Delay_model.l_p +. dl;
+          }
+      else lengths name
+    in
+    (F.time_with r ~lengths_of).Sta.Timing.wns
+  in
+  let gates =
+    Array.to_list r.F.netlist.Circuit.Netlist.gates
+    |> List.map (fun (g : Circuit.Netlist.gate) -> g.Circuit.Netlist.gname)
+  in
+  let count = ref 0 in
+  List.iter
+    (fun gate ->
+      List.iter
+        (fun dl ->
+          incr count;
+          match
+            reply_exn s (P.Whatif { gate; change = P.Resize { dl } })
+          with
+          | P.Whatif_r w ->
+              check_ps
+                (Printf.sprintf "wns(%s%+.1f)" gate dl)
+                (cold_wns gate dl) w.wns_after;
+              checkb "re-evaluated at least the gate" true (w.reevaluated >= 1);
+              checki "resize re-measures nothing" 0 w.remeasured
+          | _ -> Alcotest.fail "not a whatif reply")
+        [ -4.0; -1.0; 2.0; 5.0 ])
+    gates;
+  checkb "swept the whole netlist" true (!count >= 20)
+
+(* A null move (dx = dy = 0) rebuilds an identical chip, so OPC,
+   extraction and timing must all land exactly on the warm state. *)
+let test_null_move_is_identity () =
+  let s = session_for 1 in
+  let r = Session.run s in
+  match reply_exn s (P.Whatif { gate = "g22"; change = P.Move { dx = 0; dy = 0 } })
+  with
+  | P.Whatif_r w ->
+      checki "no gate re-timed" 0 w.reevaluated;
+      check_ps "wns unchanged" r.F.post_opc_sta.Sta.Timing.wns w.wns_after;
+      checkb "some sites re-measured" true (w.remeasured > 0)
+  | _ -> Alcotest.fail "not a whatif reply"
+
+(* The corner verb re-measures at the requested condition against the
+   warm mask; a cold run whose config carries that condition as its
+   silicon must produce the same records and the same timing. *)
+let test_corner_matches_cold_run () =
+  let s = session_for 1 in
+  let r = Session.run s in
+  let condition = Litho.Condition.make ~dose:1.05 ~defocus:110.0 in
+  let cold = F.run { (base_config ()) with F.condition } (Circuit.Generator.c17 ()) in
+  (match reply_exn s (P.Corner { dose = 1.05; defocus = 110.0; spread = None })
+   with
+  | P.Corner_r c ->
+      check_ps "corner wns" cold.F.post_opc_sta.Sta.Timing.wns c.wns;
+      check_ps "corner tns" cold.F.post_opc_sta.Sta.Timing.tns c.tns;
+      checkb "no classic corners unless asked" true (c.corners = [])
+  | _ -> Alcotest.fail "not a corner reply");
+  (* The re-measured records themselves are bit-identical to the cold
+     run's (same mask, same gates, same position-independent noise). *)
+  let warm = F.extract_at ~condition r in
+  checkb "records bit-identical to cold run" true (warm = cold.F.cds)
+
+let test_cds_matches_records () =
+  let s = session_for 1 in
+  let r = Session.run s in
+  (match reply_exn s (P.Cds { region = None }) with
+  | P.Cds_r records ->
+      checki "every site reported" (List.length r.F.cds) (List.length records)
+  | _ -> Alcotest.fail "not a cds reply");
+  let region = Geometry.Rect.make ~lx:0 ~ly:0 ~hx:3000 ~hy:3000 in
+  match reply_exn s (P.Cds { region = Some region }) with
+  | P.Cds_r records ->
+      let expect =
+        List.filter
+          (fun (c : Cdex.Gate_cd.t) ->
+            Cdex.Extract.in_region ~region c.Cdex.Gate_cd.gate)
+          r.F.cds
+      in
+      checki "region filter" (List.length expect) (List.length records);
+      checkb "region is a strict subset" true
+        (List.length records < List.length r.F.cds)
+  | _ -> Alcotest.fail "not a cds reply"
+
+(* ---- request-order byte determinism ---- *)
+
+let script =
+  [
+    {|{"verb":"status"}|};
+    {|{"verb":"retime"}|};
+    {|{"verb":"whatif","gate":"g22","dl":3.0}|};
+    {|{"verb":"whatif","gate":"g11","dx":400,"dy":0}|};
+    {|{"verb":"cds","lx":0,"ly":0,"hx":3000,"hy":3000}|};
+    {|{"verb":"corner","dose":1.03,"defocus":90,"spread":8}|};
+    "not json at all";
+    {|{"verb":"metrics"}|};
+  ]
+
+let run_script s =
+  List.map (fun line -> P.response_to_string (Session.handle_line s line)) script
+
+let test_script_determinism () =
+  let d1 = run_script (session_for 1) in
+  let d2 = run_script (session_for 2) in
+  let d4 = run_script (session_for 4) in
+  List.iteri
+    (fun i (a, b) -> checks (Printf.sprintf "line %d: domains 1 = 2" i) a b)
+    (List.combine d1 d2);
+  List.iteri
+    (fun i (a, b) -> checks (Printf.sprintf "line %d: domains 1 = 4" i) a b)
+    (List.combine d1 d4)
+
+(* qcheck: any ad-hoc mix of read-only queries leaves the session's
+   replies equal across worker-domain counts — queries are stateless
+   against the warm base, so history cannot leak into replies. *)
+let query_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return {|{"verb":"retime"}|};
+        map (fun e -> Printf.sprintf {|{"verb":"retime","endpoint":%d}|} e)
+          (int_range 0 12);
+        map2
+          (fun g dl ->
+            Printf.sprintf {|{"verb":"whatif","gate":"g%d","dl":%d}|} g dl)
+          (int_range 10 23) (int_range (-5) 5);
+        map
+          (fun hx ->
+            Printf.sprintf {|{"verb":"cds","lx":0,"ly":0,"hx":%d,"hy":9000}|}
+              (hx * 500))
+          (int_range 0 12);
+        return {|{"verb":"status"}|};
+      ])
+
+let test_random_queries_deterministic =
+  QCheck2.Test.make ~name:"random query scripts: domains 1 = domains 2"
+    ~count:20
+    QCheck2.Gen.(list_size (int_range 1 6) query_gen)
+    (fun lines ->
+      (* ids differ (independent sessions advance their sequence
+         numbers at different rates across cases), so compare with a
+         pinned id. *)
+      let pin line s =
+        let r = Session.handle_line s line in
+        P.response_to_string { r with P.id = 0 }
+      in
+      List.for_all
+        (fun line ->
+          String.equal (pin line (session_for 1)) (pin line (session_for 2)))
+        lines)
+
+(* ---- fault tolerance ---- *)
+
+let test_session_survives_fault () =
+  let s = session_for 1 in
+  let plan =
+    match Fault.parse "serve.handle=fail1;seed=3" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "bad plan: %s" e
+  in
+  Fault.set_plan (Some plan);
+  Fun.protect ~finally:(fun () -> Fault.set_plan None) @@ fun () ->
+  let first = Session.handle_line s {|{"verb":"status"}|} in
+  (match first.P.reply with
+  | Error e -> checkb "fault surfaced" true (e <> "")
+  | Ok _ -> Alcotest.fail "first request should absorb the injected fault");
+  let second = Session.handle_line s {|{"verb":"status"}|} in
+  match second.P.reply with
+  | Ok (P.Status_r st) -> checks "session still answers" "c17" st.bench
+  | _ -> Alcotest.fail "session did not survive the injected fault"
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "malformed requests" `Quick
+            test_malformed_requests;
+        ] );
+      ( "warm-vs-cold",
+        [
+          Alcotest.test_case "status matches run" `Quick
+            test_status_matches_run;
+          Alcotest.test_case "retime matches cold" `Quick
+            test_retime_matches_cold;
+          Alcotest.test_case "resize matches cold" `Quick
+            test_resize_matches_cold;
+          Alcotest.test_case "null move is identity" `Quick
+            test_null_move_is_identity;
+          Alcotest.test_case "corner matches cold run" `Quick
+            test_corner_matches_cold_run;
+          Alcotest.test_case "cds matches records" `Quick
+            test_cds_matches_records;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "script bytes across domains" `Quick
+            test_script_determinism;
+          qt test_random_queries_deterministic;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "session survives injected fault" `Quick
+            test_session_survives_fault;
+        ] );
+    ]
