@@ -18,4 +18,12 @@ dune runtest
 
 echo "== smokes (bin/smoke.sh) =="
 sh bin/smoke.sh _build/default/bin/potx.exe _build/default/bench/main.exe \
-  test/serve_script_c17.jsonl test/golden/serve_script_c17.txt
+  test/serve_script_c17.jsonl test/golden/serve_script_c17.txt BENCH_perf.json
+
+# Perf-regression gate: fresh quick perf bench diffed against the
+# committed BENCH_perf.json.  Non-fatal warnings by default;
+# POTX_PERF_GATE=1 makes timing regressions fail the build
+# (identical:false correctness failures are fatal either way).
+echo "== perfdiff (bin/perfdiff.sh) =="
+sh bin/perfdiff.sh _build/default/bin/potx.exe _build/default/bench/main.exe \
+  BENCH_perf.json

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Perf-regression gate: run the quick perf bench fresh (in a scratch
+# directory, so the committed BENCH_perf.json is never overwritten)
+# and diff it against the committed baseline with `potx perfdiff`.
+#
+#   usage: perfdiff.sh [potx.exe [bench_main.exe [baseline.json]]]
+#
+# Non-fatal by default: timing regressions print as warnings and the
+# script exits 0 (correctness failures — identical:false — are always
+# fatal).  Set POTX_PERF_GATE=1 to make timing regressions fatal too.
+# The committed baseline was recorded in --quick mode; this runs the
+# same mode so workloads match on (workload, domains, tasks).
+set -eu
+cd "$(dirname "$0")/.."
+
+POTX=${1:-_build/default/bin/potx.exe}
+BENCH=${2:-_build/default/bench/main.exe}
+BASELINE=${3:-BENCH_perf.json}
+root=$(pwd)
+# Qualify relative paths so they still resolve from the scratch cwd.
+case $BENCH in /*) ;; *) BENCH="$root/$BENCH" ;; esac
+
+for f in "$POTX" "$BENCH" "$BASELINE"; do
+  if [ ! -e "$f" ]; then
+    echo "perfdiff.sh: $f not found (run dune build first)" >&2
+    exit 2
+  fi
+done
+
+# Pin the environment knobs so a developer's shell cannot skew the
+# candidate run relative to the baseline.
+unset POTX_DOMAINS POTX_SHARD POTX_FAULTS POTX_RETRIES POTX_CACHE \
+  POTX_TRACE POTX_METRICS POTX_PROFILE
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== perfdiff: fresh quick perf bench =="
+(cd "$work" && "$BENCH" --quick --perf > bench.log 2>&1) || {
+  echo "perfdiff.sh: bench run failed; log follows" >&2
+  cat "$work/bench.log" >&2
+  exit 1
+}
+
+# shard_sweep interleaves many short tasks and is the noisiest
+# workload on a loaded host, so it gets a wider per-workload band.
+if [ "${POTX_PERF_GATE:-0}" = "1" ]; then
+  "$POTX" perfdiff --baseline "$BASELINE" --candidate "$work/BENCH_perf.json" \
+    --tolerance-for shard_sweep=1.5 --gate
+else
+  "$POTX" perfdiff --baseline "$BASELINE" --candidate "$work/BENCH_perf.json" \
+    --tolerance-for shard_sweep=1.5 || exit $?
+  echo "perfdiff.sh: timing regressions (if any) are non-fatal; set POTX_PERF_GATE=1 to gate"
+fi

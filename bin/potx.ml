@@ -41,10 +41,15 @@ let resolve_sink flag var =
     | Some v when String.trim v <> "" -> Some (String.trim v)
     | _ -> None
 
-let with_obs ~trace ~metrics f =
+let with_obs ?(profile = "") ~trace ~metrics f =
   let trace = resolve_sink trace "POTX_TRACE" in
   let metrics = resolve_sink metrics "POTX_METRICS" in
+  let profile = resolve_sink profile "POTX_PROFILE" in
   Option.iter Obs.Span.stream_to trace;
+  (* --profile needs the span log but no JSONL sink; when --trace
+     already enabled (and cleared) the log, piggyback on it rather
+     than clearing the spans it is about to report. *)
+  if profile <> None && trace = None then Obs.Span.enable ();
   Fun.protect
     ~finally:(fun () ->
       (match trace with
@@ -53,6 +58,16 @@ let with_obs ~trace ~metrics f =
           Format.eprintf "%a@." Obs.Span.pp_tree (Obs.Span.events ());
           Obs.Span.disable ();
           Format.eprintf "wrote trace %s@." path);
+      (match profile with
+      | None -> ()
+      | Some path ->
+          (* The span log survives disable (it clears on enable only),
+             so this also works after the --trace branch above. *)
+          let evs = Obs.Span.events () in
+          Obs.Span.disable ();
+          Obs.Profile.write_chrome_trace path evs;
+          Format.eprintf "%a@." Obs.Profile.pp_table evs;
+          Format.eprintf "wrote profile %s (%d spans)@." path (List.length evs));
       match metrics with
       | None -> ()
       | Some path ->
@@ -106,8 +121,8 @@ let with_session ~bench config f =
     (fun () -> f session)
 
 let run_flow bench opc seed dose defocus spread report shard selective domains
-    no_cache faults retries checkpoint_dir resume trace metrics =
-  with_obs ~trace ~metrics @@ fun () ->
+    no_cache faults retries checkpoint_dir resume trace metrics profile =
+  with_obs ~profile ~trace ~metrics @@ fun () ->
   Fault.set_plan (resolve_faults faults);
   let config =
     flow_config ~opc ~seed ~dose ~defocus ~shard ~domains ~no_cache ~retries
@@ -121,12 +136,21 @@ let run_flow bench opc seed dose defocus spread report shard selective domains
     ~report ~selective
 
 let serve_flow bench opc seed dose defocus shard domains no_cache faults
-    retries socket trace metrics =
-  with_obs ~trace ~metrics @@ fun () ->
+    retries socket slowlog_ms slowlog_file trace metrics profile =
+  with_obs ~profile ~trace ~metrics @@ fun () ->
   Fault.set_plan (resolve_faults faults);
   let config =
     flow_config ~opc ~seed ~dose ~defocus ~shard ~domains ~no_cache ~retries
       ~checkpoint_dir:"" ~resume:false
+  in
+  (* The slow-query log goes to stderr unless a file is named; it must
+     never share the response channel (byte-determinism contract). *)
+  let slowlog =
+    if slowlog_ms < 0.0 then None
+    else
+      Some
+        ( slowlog_ms,
+          if slowlog_file = "" then stderr else open_out slowlog_file )
   in
   (* Diagnostics go to stderr: in stdio mode stdout carries nothing
      but response lines (the golden script test compares its bytes). *)
@@ -136,10 +160,10 @@ let serve_flow bench opc seed dose defocus shard domains no_cache faults
   with_session ~bench config @@ fun session ->
   Format.eprintf "ready@.";
   match socket with
-  | "" -> Timing_opc_serve.Server.serve_stdio session
+  | "" -> Timing_opc_serve.Server.serve_stdio ?slowlog session
   | path ->
       Format.eprintf "listening on %s@." path;
-      Timing_opc_serve.Server.serve_socket session ~path
+      Timing_opc_serve.Server.serve_socket ?slowlog session ~path
 
 let bench_arg =
   Arg.(value & opt string "c17" & info [ "bench"; "b" ] ~doc:"Benchmark netlist name.")
@@ -255,6 +279,18 @@ let metrics_arg =
            exits.  Empty = take $(b,POTX_METRICS) from the environment, else \
            no file is written." ~docv:"FILE")
 
+let profile_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "profile" ]
+        ~doc:
+          "Record span timings (with per-span allocation) and write a \
+           Chrome-trace JSON profile to $(docv) when the command exits — load \
+           it in chrome://tracing or Perfetto; the self-time table goes to \
+           stderr.  Primary stdout is byte-identical with or without this \
+           flag.  Empty = take $(b,POTX_PROFILE) from the environment, else \
+           profiling stays off." ~docv:"FILE")
+
 let run_cmd =
   let doc = "run the full post-OPC extraction timing flow on a benchmark" in
   Cmd.v (Cmd.info "run" ~doc)
@@ -262,7 +298,7 @@ let run_cmd =
       const run_flow $ bench_arg $ opc_arg $ seed_arg $ dose_arg $ defocus_arg
       $ spread_arg $ report_arg $ shard_arg $ selective_arg $ domains_arg
       $ no_cache_arg $ faults_arg $ retries_arg $ checkpoint_arg $ resume_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ profile_arg)
 
 let socket_arg =
   Arg.(
@@ -271,6 +307,25 @@ let socket_arg =
         ~doc:
           "Listen on a Unix-domain socket at $(docv) (one client at a time) \
            instead of answering requests on stdin/stdout." ~docv:"PATH")
+
+let slowlog_arg =
+  Arg.(
+    value & opt float (-1.0)
+    & info [ "slowlog" ]
+        ~doc:
+          "Log every request slower than $(docv) milliseconds as one \
+           structured JSONL line \
+           ($(i,{\"type\":\"slowquery\",\"id\":..,\"verb\":..,\"ok\":..,\"wall_ms\":..})) \
+           to stderr, or to $(b,--slowlog-file).  Negative = disabled.  The \
+           log never shares the response channel, so response bytes are \
+           unaffected." ~docv:"MS")
+
+let slowlog_file_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "slowlog-file" ]
+        ~doc:"Append slow-query lines to $(docv) instead of stderr."
+        ~docv:"FILE")
 
 let serve_cmd =
   let doc =
@@ -283,8 +338,11 @@ let serve_cmd =
          mask, aerial tile cache, extracted CDs and annotated timing graph \
          resident.  Requests are JSONL, one object per line on stdin (or \
          the socket); each gets exactly one response line, in request \
-         order.  Verbs: status, retime, whatif, cds, corner, metrics, \
-         shutdown — see the protocol reference in README.md.";
+         order.  Verbs: status, retime, whatif, cds, corner, metrics (with \
+         optional $(i,\"all\":true) for the full registry plus latency \
+         quantiles), profile (wraps another request and returns its \
+         Chrome-trace span tree), shutdown — see the protocol reference in \
+         README.md.";
       `P
         "Responses are byte-deterministic: the same request script yields \
          identical bytes for any $(b,--domains), $(b,--shard) or tile-cache \
@@ -294,7 +352,8 @@ let serve_cmd =
     Term.(
       const serve_flow $ bench_arg $ opc_arg $ seed_arg $ dose_arg
       $ defocus_arg $ shard_arg $ domains_arg $ no_cache_arg $ faults_arg
-      $ retries_arg $ socket_arg $ trace_arg $ metrics_arg)
+      $ retries_arg $ socket_arg $ slowlog_arg $ slowlog_file_arg $ trace_arg
+      $ metrics_arg $ profile_arg)
 
 (* ---- cells ---- *)
 
@@ -430,7 +489,7 @@ let robust_metrics =
     "flow.checkpoint.saved"; "flow.checkpoint.loaded";
     "flow.checkpoint.rejected" ]
 
-let obs_check trace metrics min_metrics require_nonzero =
+let obs_check trace metrics min_metrics require_nonzero serve =
   let problems = ref [] in
   let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   let parse_lines what path =
@@ -527,11 +586,47 @@ let obs_check trace metrics min_metrics require_nonzero =
         | Some v -> problem "%s: metric %S is %g, want > 0" metrics name v
         | None -> problem "%s: metric %S has no value to test" metrics name)
       require_nonzero;
+    (* --serve: the latency-histogram contract of the timing service —
+       histograms are present at all, and every verb the session
+       counted also observed into its serve.latency.<verb> histogram. *)
+    if serve then begin
+      let typed = List.filter_map Obs.Report.metric_of_json ms in
+      let hists =
+        List.filter_map
+          (fun (n, v) ->
+            match v with Obs.Metrics.Histogram h -> Some (n, h) | _ -> None)
+          typed
+      in
+      if hists = [] then problem "%s: no histograms at all (want serve.latency.*)" metrics
+      else if
+        not
+          (List.exists
+             (fun (n, _) -> String.starts_with ~prefix:"serve.latency." n)
+             hists)
+      then problem "%s: no serve.latency.* histogram" metrics;
+      List.iter
+        (fun (n, v) ->
+          match v with
+          | Obs.Metrics.Counter c
+            when c > 0 && String.starts_with ~prefix:"serve.verb." n ->
+              let verb = String.sub n 11 (String.length n - 11) in
+              (match List.assoc_opt ("serve.latency." ^ verb) hists with
+              | Some h when h.Obs.Metrics.count > 0 -> ()
+              | Some _ ->
+                  problem "%s: serve.latency.%s histogram is empty" metrics verb
+              | None ->
+                  problem "%s: verb %S was counted but has no serve.latency.%s histogram"
+                    metrics verb verb)
+          | _ -> ())
+        typed
+    end;
     Format.printf "obs-check: %s: %d metrics, %d distinct names@." metrics
       (List.length ms) (List.length names)
   end
-  else if require_nonzero <> [] then
-    problem "--require-nonzero needs --metrics";
+  else begin
+    if require_nonzero <> [] then problem "--require-nonzero needs --metrics";
+    if serve then problem "--serve needs --metrics"
+  end;
   match List.rev !problems with
   | [] -> Format.printf "obs-check: OK@."
   | ps ->
@@ -561,10 +656,380 @@ let obs_check_cmd =
              metrics file (repeatable).  bin/check.sh uses this to assert the \
              tile cache actually hit." ~docv:"NAME")
   in
+  let serve =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Check the timing-service latency contract: the metrics file \
+             must contain at least one histogram, and every \
+             $(i,serve.verb.<v>) counter > 0 must have a populated \
+             $(i,serve.latency.<v>) histogram beside it.")
+  in
   Cmd.v
     (Cmd.info "obs-check"
        ~doc:"validate trace/metrics JSONL produced by --trace/--metrics")
-    Term.(const obs_check $ trace $ metrics $ min_metrics $ require_nonzero)
+    Term.(const obs_check $ trace $ metrics $ min_metrics $ require_nonzero $ serve)
+
+(* ---- obs-report ---- *)
+
+(* Human summary over captured observability files: per-verb latency
+   quantiles, worker-pool occupancy, litho-cache hit rate and the
+   per-stage wall/allocation table out of a --metrics dump, plus the
+   span self-time table out of a --trace dump. *)
+
+let obs_report metrics trace =
+  if metrics = "" && trace = "" then begin
+    Format.eprintf "obs-report: pass --metrics and/or --trace@.";
+    exit 2
+  end;
+  if metrics <> "" then begin
+    let ms = Obs.Report.read_jsonl_file metrics in
+    if ms = [] then begin
+      Format.eprintf "obs-report: %s: no parsable metrics@." metrics;
+      exit 1
+    end;
+    Format.printf "obs-report: %s (%d metrics)@." metrics (List.length ms);
+    let latency =
+      List.filter_map
+        (fun (name, v) ->
+          match v with
+          | Obs.Metrics.Histogram h
+            when String.starts_with ~prefix:"serve.latency." name ->
+              Some (String.sub name 14 (String.length name - 14), h)
+          | _ -> None)
+        ms
+    in
+    if latency <> [] then begin
+      Format.printf "@.service latency (ms):@.";
+      Format.printf "  %-12s %8s %9s %9s %9s %9s@." "verb" "count" "p50" "p95"
+        "p99" "mean";
+      List.iter
+        (fun (verb, (h : Obs.Metrics.histogram_snapshot)) ->
+          let q p = Obs.Report.quantile h p in
+          let mean =
+            if h.Obs.Metrics.count = 0 then 0.0
+            else h.Obs.Metrics.sum /. float_of_int h.Obs.Metrics.count
+          in
+          Format.printf "  %-12s %8d %9.3f %9.3f %9.3f %9.3f@." verb
+            h.Obs.Metrics.count (q 0.5) (q 0.95) (q 0.99) mean)
+        latency
+    end;
+    (match Obs.Report.pool_names ms with
+    | [] -> ()
+    | pools ->
+        Format.printf "@.worker pools:@.";
+        List.iter
+          (fun pool ->
+            let g suffix =
+              Option.value ~default:0.0
+                (Obs.Report.gauge_of
+                   (Printf.sprintf "exec.pool.%s.%s" pool suffix) ms)
+            in
+            match Obs.Report.pool_occupancy ~pool ms with
+            | Some occ ->
+                Format.printf
+                  "  %-12s domains=%.0f up=%.3fs busy=%.3fs occupancy=%.1f%%@."
+                  pool (g "domains") (g "up_s") (g "busy_s") (occ *. 100.0)
+            | None ->
+                Format.printf "  %-12s (no up_s gauge: pool was not shut down)@."
+                  pool)
+          pools);
+    (match Obs.Report.cache_hit_rate ms with
+    | None -> ()
+    | Some rate ->
+        let c name = Option.value ~default:0 (Obs.Report.counter_of name ms) in
+        Format.printf
+          "@.litho tile cache: hit rate %.1f%% (%d hits / %d misses, %d \
+           evictions, %.1f MB resident)@."
+          (rate *. 100.0) (c "litho.cache.hits") (c "litho.cache.misses")
+          (c "litho.cache.evictions")
+          (Option.value ~default:0.0 (Obs.Report.gauge_of "litho.cache.bytes" ms)
+          /. 1e6));
+    let stages =
+      List.filter_map
+        (fun (name, v) ->
+          match v with
+          | Obs.Metrics.Gauge w
+            when String.ends_with ~suffix:".wall_s" name
+                 && not (String.starts_with ~prefix:"exec.pool." name) ->
+              let stage =
+                String.sub name 0 (String.length name - String.length ".wall_s")
+              in
+              Some (stage, w, Obs.Report.gauge_of (stage ^ ".alloc_mw") ms)
+          | _ -> None)
+        ms
+      |> List.sort (fun (_, a, _) (_, b, _) -> Float.compare b a)
+    in
+    if stages <> [] then begin
+      Format.printf "@.stages:@.";
+      Format.printf "  %-36s %10s %12s@." "stage" "wall_s" "alloc_Mw";
+      List.iter
+        (fun (stage, w, alloc) ->
+          Format.printf "  %-36s %10.3f %12s@." stage w
+            (match alloc with
+            | Some a -> Printf.sprintf "%.1f" a
+            | None -> "-"))
+        stages
+    end
+  end;
+  if trace <> "" then begin
+    let evs = Obs.Profile.read_jsonl_file trace in
+    if evs = [] then begin
+      Format.eprintf "obs-report: %s: no parsable span events@." trace;
+      exit 1
+    end;
+    Format.printf "@.span profile: %s (%d spans)@.%a@." trace (List.length evs)
+      Obs.Profile.pp_table evs
+  end
+
+let obs_report_cmd =
+  let metrics =
+    Arg.(
+      value & opt string ""
+      & info [ "metrics" ]
+          ~doc:"Metrics JSONL (as written by --metrics) to summarise."
+          ~docv:"FILE")
+  in
+  let trace =
+    Arg.(
+      value & opt string ""
+      & info [ "trace" ]
+          ~doc:"Trace JSONL (as written by --trace) to summarise." ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "obs-report"
+       ~doc:
+         "summarise captured observability files: latency quantiles, pool \
+          occupancy, cache hit rate, per-stage wall/alloc, span self-time")
+    Term.(const obs_report $ metrics $ trace)
+
+(* ---- perfdiff ---- *)
+
+(* The perf-regression gate: diff two BENCH_perf.json files (the
+   committed baseline vs a fresh bench run — see bin/perfdiff.sh).
+   Workloads are matched on (workload, domains, tasks); wall times may
+   regress by the tolerance before anything is reported, correctness
+   (identical:false) is always fatal, and a host_cores mismatch
+   downgrades timing regressions to warnings because the wall clocks
+   are not comparable. *)
+
+type perf_exp = {
+  pworkload : string;
+  pdomains : int;
+  ptasks : int;
+  pwall_s : float;
+  pwall_cached_s : float option;
+  pidentical : bool option;
+  pcache_hits : float option;
+  pcache_misses : float option;
+  phost_cores : float option;
+}
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let load_perf path =
+  match Obs.Json.parse (read_whole_file path) with
+  | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+  | Ok j -> (
+      let num name o = Option.bind (Obs.Json.member name o) Obs.Json.to_float in
+      let file_cores = num "host_cores" j in
+      match Obs.Json.member "experiments" j with
+      | Some (Obs.Json.Arr es) ->
+          ( file_cores,
+            List.filter_map
+              (fun e ->
+                match
+                  ( Option.bind (Obs.Json.member "workload" e) Obs.Json.to_str,
+                    num "domains" e, num "tasks" e, num "wall_s" e )
+                with
+                | Some w, Some d, Some t, Some wall ->
+                    Some
+                      {
+                        pworkload = w;
+                        pdomains = int_of_float d;
+                        ptasks = int_of_float t;
+                        pwall_s = wall;
+                        pwall_cached_s = num "wall_cached_s" e;
+                        pidentical =
+                          (match Obs.Json.member "identical" e with
+                          | Some (Obs.Json.Bool b) -> Some b
+                          | _ -> None);
+                        pcache_hits = num "cache_hits" e;
+                        pcache_misses = num "cache_misses" e;
+                        phost_cores =
+                          (match num "host_cores" e with
+                          | Some v -> Some v
+                          | None -> file_cores);
+                      }
+                | _ -> None)
+              es )
+      | _ -> failwith (path ^ ": no experiments array"))
+
+(* Baselines under this are pure noise on any host (warm serve queries
+   sit in the tens of microseconds); so is any delta under 10 ms. *)
+let perfdiff_min_base = 0.02
+
+let perfdiff_min_delta = 0.01
+
+let perfdiff baseline candidate tolerance tolerance_for scales gate =
+  let parse_kv what s =
+    match String.index_opt s '=' with
+    | Some i -> (
+        let k = String.sub s 0 i
+        and v = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt v with
+        | Some f -> (k, f)
+        | None -> failwith (Printf.sprintf "bad %s %S (want WORKLOAD=FLOAT)" what s))
+    | None -> failwith (Printf.sprintf "bad %s %S (want WORKLOAD=FLOAT)" what s)
+  in
+  let scales = List.map (parse_kv "--scale") scales in
+  let tol_for = List.map (parse_kv "--tolerance-for") tolerance_for in
+  let base_cores, base = load_perf baseline in
+  let cand_cores, cand = load_perf candidate in
+  let cores_mismatch =
+    match (base_cores, cand_cores) with
+    | Some b, Some c -> b <> c
+    | _ -> false
+  in
+  if cores_mismatch then
+    Format.printf
+      "perfdiff: host_cores differ (baseline %.0f, candidate %.0f): timing \
+       regressions are warnings only@."
+      (Option.get base_cores) (Option.get cand_cores);
+  let key e = (e.pworkload, e.pdomains, e.ptasks) in
+  let regressions = ref 0
+  and improvements = ref 0
+  and compared = ref 0
+  and broken = ref [] in
+  List.iter
+    (fun c ->
+      (match c.pidentical with
+      | Some false -> broken := c.pworkload :: !broken
+      | _ -> ());
+      match List.find_opt (fun b -> key b = key c) base with
+      | None ->
+          Format.printf "perfdiff: %s (domains=%d tasks=%d): new workload, no baseline@."
+            c.pworkload c.pdomains c.ptasks
+      | Some b ->
+          let scale = Option.value ~default:1.0 (List.assoc_opt c.pworkload scales) in
+          let tol =
+            Option.value ~default:tolerance (List.assoc_opt c.pworkload tol_for)
+          in
+          let explain () =
+            match (b.pcache_hits, b.pcache_misses, c.pcache_hits, c.pcache_misses) with
+            | Some bh, Some bm, Some ch, Some cm when bh +. bm > 0.0 && ch +. cm > 0.0 ->
+                Format.printf
+                  "perfdiff:   cache: hits %.0f->%.0f misses %.0f->%.0f (hit \
+                   rate %.1f%% -> %.1f%%)@."
+                  bh ch bm cm
+                  (bh /. (bh +. bm) *. 100.0)
+                  (ch /. (ch +. cm) *. 100.0)
+            | _ -> ()
+          in
+          let check what bw cw =
+            let cw = cw *. scale in
+            if bw < perfdiff_min_base then ()
+            else begin
+              incr compared;
+              let delta = cw -. bw in
+              if delta > (bw *. tol) && delta > perfdiff_min_delta then begin
+                incr regressions;
+                Format.printf
+                  "perfdiff: %s (domains=%d tasks=%d): %s %.3fs -> %.3fs \
+                   (%+.1f%%, tolerance %.0f%%)%s@."
+                  c.pworkload c.pdomains c.ptasks what bw cw
+                  (delta /. bw *. 100.0) (tol *. 100.0)
+                  (if cores_mismatch then " WARN" else " REGRESSION");
+                explain ()
+              end
+              else if -.delta > (bw *. tol) && -.delta > perfdiff_min_delta then
+                incr improvements
+            end
+          in
+          check "wall" b.pwall_s c.pwall_s;
+          (match (b.pwall_cached_s, c.pwall_cached_s) with
+          | Some bw, Some cw -> check "cached wall" bw cw
+          | _ -> ()))
+    cand;
+  List.iter
+    (fun b ->
+      if not (List.exists (fun c -> key c = key b) cand) then
+        Format.printf
+          "perfdiff: %s (domains=%d tasks=%d): in baseline but not candidate@."
+          b.pworkload b.pdomains b.ptasks)
+    base;
+  (match List.sort_uniq String.compare !broken with
+  | [] -> ()
+  | ws ->
+      Format.eprintf "perfdiff: FATAL: identical:false in candidate for: %s@."
+        (String.concat ", " ws);
+      exit 1);
+  Format.printf "perfdiff: %d comparisons, %d regressions, %d improvements%s@."
+    !compared !regressions !improvements
+    (if !regressions = 0 then " -- OK"
+     else if gate && not cores_mismatch then " -- GATE FAILED"
+     else " (warnings only)");
+  if !regressions > 0 && gate && not cores_mismatch then exit 1
+
+let perfdiff_cmd =
+  let baseline =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~doc:"Committed BENCH_perf.json to diff against."
+          ~docv:"FILE")
+  in
+  let candidate =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "candidate" ] ~doc:"Freshly measured BENCH_perf.json." ~docv:"FILE")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.5
+      & info [ "tolerance" ]
+          ~doc:
+            "Allowed fractional wall-time growth per workload before a \
+             regression is reported (0.5 = 50%).")
+  in
+  let tolerance_for =
+    Arg.(
+      value & opt_all string []
+      & info [ "tolerance-for" ]
+          ~doc:"Per-workload tolerance override, e.g. $(i,shard_sweep=1.0) (repeatable)."
+          ~docv:"WORKLOAD=T")
+  in
+  let scale =
+    Arg.(
+      value & opt_all string []
+      & info [ "scale" ]
+          ~doc:
+            "Multiply the candidate's wall times for one workload by a \
+             factor before comparing, e.g. $(i,opc_iterate=2.0) — injects a \
+             synthetic slowdown so the gate itself can be tested \
+             (repeatable)." ~docv:"WORKLOAD=FACTOR")
+  in
+  let gate =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Exit nonzero on any timing regression (identical:false is fatal \
+             even without this flag).  bin/perfdiff.sh passes this under \
+             $(b,POTX_PERF_GATE=1).")
+  in
+  Cmd.v
+    (Cmd.info "perfdiff"
+       ~doc:"diff two BENCH_perf.json files and gate on perf regressions")
+    Term.(
+      const perfdiff $ baseline $ candidate $ tolerance $ tolerance_for $ scale
+      $ gate)
 
 let () =
   let doc = "post-OPC critical-dimension extraction for advanced timing analysis" in
@@ -573,4 +1038,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; serve_cmd; cells_cmd; litho_cmd; drc_cmd; liberty_cmd;
-            export_cmd; cds_cmd; obs_check_cmd ]))
+            export_cmd; cds_cmd; obs_check_cmd; obs_report_cmd; perfdiff_cmd ]))

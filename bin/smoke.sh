@@ -5,17 +5,19 @@
 # the script exits nonzero if any case failed.
 #
 #   usage: smoke.sh path/to/potx.exe path/to/bench_main.exe \
-#            [serve_script.jsonl serve_golden.txt]
+#            [serve_script.jsonl serve_golden.txt [perf_baseline.json]]
 #
 # The optional pair names the canonical serve request script and its
 # golden response capture (test/serve_script_c17.jsonl and
-# test/golden/serve_script_c17.txt); without them the serve case is
-# skipped.
+# test/golden/serve_script_c17.txt); without them the serve cases are
+# skipped.  The optional fifth argument names the committed
+# BENCH_perf.json; without it the perfdiff-gate case is skipped.
 
-POTX=${1:?usage: smoke.sh POTX BENCH_MAIN [SERVE_SCRIPT SERVE_GOLDEN]}
-BENCH=${2:?usage: smoke.sh POTX BENCH_MAIN [SERVE_SCRIPT SERVE_GOLDEN]}
+POTX=${1:?usage: smoke.sh POTX BENCH_MAIN [SERVE_SCRIPT SERVE_GOLDEN [PERF_BASELINE]]}
+BENCH=${2:?usage: smoke.sh POTX BENCH_MAIN [SERVE_SCRIPT SERVE_GOLDEN [PERF_BASELINE]]}
 SERVE_SCRIPT=${3:-}
 SERVE_GOLDEN=${4:-}
+PERF_BASELINE=${5:-}
 
 # Under dune, %{exe:...} can expand to a bare file name; qualify it so
 # the shell executes it by path instead of searching $PATH.
@@ -25,7 +27,7 @@ case $BENCH in */*) ;; *) BENCH="./$BENCH" ;; esac
 # Pin the knobs the cases set explicitly, so a developer's environment
 # cannot perturb the byte-compares.
 unset POTX_DOMAINS POTX_SHARD POTX_FAULTS POTX_RETRIES POTX_CACHE \
-  POTX_TRACE POTX_METRICS
+  POTX_TRACE POTX_METRICS POTX_PROFILE
 
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
@@ -130,7 +132,51 @@ case_serve() {
       > "$work/serve_d4.out" 2> /dev/null &&
     cmp "$SERVE_GOLDEN" "$work/serve_d4.out" &&
     "$POTX" obs-check --metrics "$work/serve_metrics.jsonl" \
-      --require-nonzero serve.requests
+      --require-nonzero serve.requests --serve
+}
+
+# Serve with profiling on (and the slow-query log pointed at a file):
+# response bytes still match the golden capture at 1 and 4 domains,
+# and both side channels actually wrote.
+case_serve_profile() {
+  "$POTX" serve --bench c17 --profile "$work/serve_prof1.json" \
+    --slowlog 0 --slowlog-file "$work/serve_slow.jsonl" \
+    < "$SERVE_SCRIPT" > "$work/serve_prof1.out" 2> /dev/null &&
+    cmp "$SERVE_GOLDEN" "$work/serve_prof1.out" &&
+    "$POTX" serve --bench c17 --domains 4 --profile "$work/serve_prof4.json" \
+      < "$SERVE_SCRIPT" > "$work/serve_prof4.out" 2> /dev/null &&
+    cmp "$SERVE_GOLDEN" "$work/serve_prof4.out" &&
+    grep -q '"traceEvents"' "$work/serve_prof1.json" &&
+    grep -q '"type":"slowquery"' "$work/serve_slow.jsonl"
+}
+
+# Profiling must not perturb the primary stdout: --profile runs at 1
+# and 4 worker domains byte-compare against the uninstrumented
+# baseline (the header prints the domain count, so the 4-domain
+# comparison starts below it), and the export is a Chrome-trace JSON
+# holding the flow's span tree.
+case_profile_identity() {
+  "$POTX" run --bench c17 --profile "$work/prof1.json" \
+    > "$work/prof1.out" 2> /dev/null &&
+    cmp "$work/base.out" "$work/prof1.out" &&
+    "$POTX" run --bench c17 --domains 4 --profile "$work/prof4.json" \
+      > "$work/prof4.out" 2> /dev/null &&
+    tail -n +2 "$work/base.out" > "$work/base.body" &&
+    tail -n +2 "$work/prof4.out" | cmp "$work/base.body" - &&
+    grep -q '"traceEvents"' "$work/prof1.json" &&
+    grep -q 'flow.run' "$work/prof1.json" &&
+    grep -q '"traceEvents"' "$work/prof4.json"
+}
+
+# The perf-regression gate itself: a self-diff of the committed
+# baseline passes gated, and a synthetic 2x slowdown injected with
+# --scale must trip it.
+case_perfdiff_gate() {
+  "$POTX" perfdiff --baseline "$PERF_BASELINE" \
+    --candidate "$PERF_BASELINE" --gate &&
+    ! "$POTX" perfdiff --baseline "$PERF_BASELINE" \
+      --candidate "$PERF_BASELINE" --scale opc_iterate=2.0 --gate \
+      > /dev/null 2>&1
 }
 
 # Shard-granular checkpoints: a sharded resume loads per-shard CD
@@ -155,11 +201,18 @@ run_case cache case_cache
 run_case fault-retry case_fault_retry
 run_case checkpoint-resume case_checkpoint_resume
 run_case shard-identity case_shard_identity
+run_case profile-identity case_profile_identity
 run_case shard-resume case_shard_resume
 if [ -n "$SERVE_SCRIPT" ] && [ -n "$SERVE_GOLDEN" ]; then
   run_case serve case_serve
+  run_case serve-profile case_serve_profile
 else
   echo "== serve == (skipped: pass SERVE_SCRIPT and SERVE_GOLDEN to enable)"
+fi
+if [ -n "$PERF_BASELINE" ]; then
+  run_case perfdiff-gate case_perfdiff_gate
+else
+  echo "== perfdiff-gate == (skipped: pass PERF_BASELINE to enable)"
 fi
 
 if [ -n "$failed" ]; then

@@ -43,6 +43,26 @@ let default_config () =
     checkpoint = None;
   }
 
+(* Per-stage wall/alloc gauges ([<stage>.wall_s], [<stage>.alloc_mw])
+   accumulate into the registry on every run, traced or not, so a
+   plain [--metrics] dump carries the stage table [potx obs-report]
+   renders.  Alloc deltas are caller-domain words (Gc.quick_stat);
+   work fanned out to pool workers allocates on their domains and is
+   attributed by span profiling instead.  Gauges carry wall-clock
+   data and are exempt from the determinism contract. *)
+let staged ~name f =
+  let g suffix = Obs.Metrics.gauge (name ^ suffix) in
+  let t0 = Unix.gettimeofday () in
+  let s0 = Gc.quick_stat () in
+  let words (s : Gc.stat) = s.minor_words +. s.major_words -. s.promoted_words in
+  Fun.protect
+    ~finally:(fun () ->
+      let s1 = Gc.quick_stat () in
+      Obs.Metrics.add_gauge (g ".wall_s") (Unix.gettimeofday () -. t0);
+      Obs.Metrics.add_gauge (g ".alloc_mw")
+        (Float.max 0.0 (words s1 -. words s0) /. 1e6))
+    f
+
 (* Span + bounded-retry supervision for one flow stage.  The span's
    [retries] attribute reads the counter when the span closes, so it
    reports the attempts actually taken.  An optional [checkpoint]
@@ -56,14 +76,15 @@ let supervised ~name config ?checkpoint f =
   Obs.Span.with_ ~name
     ~attrs:(fun () -> [ ("retries", string_of_int !retries) ])
     (fun () ->
-      match (checkpoint, config.checkpoint) with
-      | None, _ | _, None -> body ()
-      | Some (cname, key, encode, decode), Some _ ->
-          (* [key] is a thunk: content-hashing the stage inputs means
-             serialising the chip and mask, which plain runs must not
-             pay for. *)
-          Checkpoint.stage config.checkpoint ~name:cname ~key:(key ())
-            ~encode ~decode body)
+      staged ~name (fun () ->
+          match (checkpoint, config.checkpoint) with
+          | None, _ | _, None -> body ()
+          | Some (cname, key, encode, decode), Some _ ->
+              (* [key] is a thunk: content-hashing the stage inputs means
+                 serialising the chip and mask, which plain runs must not
+                 pay for. *)
+              Checkpoint.stage config.checkpoint ~name:cname ~key:(key ())
+                ~encode ~decode body))
 
 (* Worker pool for the extraction hot path; [None] when the config
    asks for a single domain, keeping call sites on the sequential
@@ -107,6 +128,8 @@ let place config netlist =
   Obs.Span.with_ ~name:"flow.place"
     ~attrs:(fun () ->
       [ ("cells", string_of_int (Circuit.Netlist.num_gates netlist)) ])
+  @@ fun () ->
+  staged ~name:"flow.place"
   @@ fun () ->
   Obs.Metrics.add m_place_cells (Circuit.Netlist.num_gates netlist);
   let rng = Stats.Rng.create config.seed in

@@ -32,6 +32,14 @@ type t = {
   mutable failure : (int * exn * Printexc.raw_backtrace) option;
   mutable workers : unit Domain.t list;
   stats : (string, stage_handle) Hashtbl.t;
+  (* Occupancy accounting: busy worker-seconds accumulate into
+     [exec.pool.<name>.busy_s] while shares execute; uptime is
+     published to [.up_s] at shutdown so occupancy can be derived
+     offline as busy / (up * domains). *)
+  created_s : float;
+  busy_m : Obs.Metrics.gauge;
+  busy0 : float; (* registry value at create; gauges outlive pool instances *)
+  up_m : Obs.Metrics.gauge;
 }
 
 (* Set while a domain is executing pool tasks: a task that re-enters
@@ -60,6 +68,13 @@ let run_stride t ~n ~stride body slot =
     done
   with e -> record_failure t !i e (Printexc.get_raw_backtrace ())
 
+(* Time one share's execution into the pool's busy gauge. *)
+let busy t f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.add_gauge t.busy_m (Unix.gettimeofday () -. t0))
+    f
+
 let worker t slot () =
   Domain.DLS.set in_task true;
   let last = ref 0 in
@@ -77,7 +92,7 @@ let worker t slot () =
       last := t.generation;
       let job = match t.job with Some j -> j | None -> assert false in
       Mutex.unlock t.mutex;
-      job slot;
+      busy t (fun () -> job slot);
       Mutex.lock t.mutex;
       t.remaining <- t.remaining - 1;
       if t.remaining = 0 then Condition.signal t.finished;
@@ -87,6 +102,7 @@ let worker t slot () =
 
 let create ?(name = "pool") ~domains () =
   let n_domains = max 1 domains in
+  let metric suffix = Printf.sprintf "exec.pool.%s.%s" name suffix in
   let t =
     {
       name;
@@ -102,10 +118,24 @@ let create ?(name = "pool") ~domains () =
       failure = None;
       workers = [];
       stats = Hashtbl.create 8;
+      created_s = Unix.gettimeofday ();
+      busy_m = Obs.Metrics.gauge (metric "busy_s");
+      busy0 = Obs.Metrics.gauge_value (Obs.Metrics.gauge (metric "busy_s"));
+      up_m = Obs.Metrics.gauge (metric "up_s");
     }
   in
+  Obs.Metrics.set_gauge (Obs.Metrics.gauge (metric "domains")) (float_of_int n_domains);
   t.workers <- List.init (n_domains - 1) (fun i -> Domain.spawn (worker t (i + 1)));
   t
+
+let uptime t = Unix.gettimeofday () -. t.created_s
+
+let occupancy t =
+  let up = uptime t in
+  if up <= 0.0 then 0.0
+  else
+    (Obs.Metrics.gauge_value t.busy_m -. t.busy0)
+    /. (up *. float_of_int t.n_domains)
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -113,7 +143,8 @@ let shutdown t =
   Condition.broadcast t.work;
   Mutex.unlock t.mutex;
   List.iter Domain.join t.workers;
-  t.workers <- []
+  t.workers <- [];
+  Obs.Metrics.set_gauge t.up_m (uptime t)
 
 let with_pool ?name ~domains f =
   let t = create ?name ~domains () in
@@ -179,9 +210,10 @@ let dispatch t ~label ?(retry = Fault.no_retry) ~n body =
           else t.n_domains
         in
         if stride = 1 then
-          for i = 0 to n - 1 do
-            body i
-          done
+          busy t (fun () ->
+              for i = 0 to n - 1 do
+                body i
+              done)
         else begin
           Mutex.lock t.client;
           Fun.protect
@@ -196,7 +228,7 @@ let dispatch t ~label ?(retry = Fault.no_retry) ~n body =
               Condition.broadcast t.work;
               Mutex.unlock t.mutex;
               Domain.DLS.set in_task true;
-              share 0;
+              busy t (fun () -> share 0);
               Domain.DLS.set in_task false;
               Mutex.lock t.mutex;
               while t.remaining > 0 do

@@ -110,6 +110,16 @@ val report : t -> (string * stage_stats) list
 
 val reset_stats : t -> unit
 
+(** Fraction of worker capacity spent executing shares since this
+    pool was created: busy worker-seconds / (uptime × domains), in
+    [0, 1] up to timer skew.  The underlying gauges are published as
+    [exec.pool.<pool>.busy_s] (accumulates while shares run, caller's
+    share included) and [exec.pool.<pool>.up_s] (uptime, written at
+    {!shutdown}) plus [exec.pool.<pool>.domains], so the same figure
+    can be derived offline from a [--metrics] dump — that derivation
+    is what [potx obs-report] prints. *)
+val occupancy : t -> float
+
 (** One line per label: [label: calls=.. tasks=.. wall=..s]. *)
 val pp_report : Format.formatter -> t -> unit
 

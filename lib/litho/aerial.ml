@@ -84,19 +84,22 @@ let simulate ?pool (model : Model.t) (condition : Condition.t) ~window polygons 
      warm. *)
   Fault.point "litho.simulate" @@ fun () ->
   Obs.Metrics.incr m_simulations;
-  let mask =
-    Raster.of_window ~window ~halo:model.Model.halo ~step:model.Model.step
+  (* Geometry only until we know it's a miss: the nx*ny zero-fill is
+     the dominant allocation here and a cache hit never paints. *)
+  let shape =
+    Raster.shape_of_window ~window ~halo:model.Model.halo ~step:model.Model.step
   in
-  let rects = clipped_rects mask polygons in
+  let rects = clipped_rects shape polygons in
   let key =
-    if Tile_cache.enabled () then Some (cache_key model condition mask rects)
+    if Tile_cache.enabled () then Some (cache_key model condition shape rects)
     else None
   in
   match
-    Option.bind key (Tile_cache.find Tile_cache.global ~origin:(Raster.origin mask))
+    Option.bind key (Tile_cache.find Tile_cache.global ~origin:(Raster.origin shape))
   with
   | Some intensity -> intensity
   | None ->
+      let mask = Raster.like shape in
       paint_mask mask rects;
       let intensity = Raster.like mask in
       let blur (k : Model.kernel) =

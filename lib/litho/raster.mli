@@ -14,6 +14,13 @@ val create : origin:Geometry.Point.t -> step:float -> nx:int -> ny:int -> t
 (** Raster covering [window] inflated by [halo] nm at the given step. *)
 val of_window : window:Geometry.Rect.t -> halo:int -> step:float -> t
 
+(** Same geometry as {!of_window} but with no pixel storage — for
+    cache-key/extent computation on lookup paths that may never paint.
+    Only the geometry accessors ([nx], [ny], [step], [origin]) and
+    {!like} are valid on a shape; {!get}/{!set}/{!sample} are not.
+    [like shape] materialises a real zero raster. *)
+val shape_of_window : window:Geometry.Rect.t -> halo:int -> step:float -> t
+
 val nx : t -> int
 
 val ny : t -> int

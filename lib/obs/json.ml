@@ -21,7 +21,10 @@ let escape buf s =
     s
 
 let add_num buf v =
-  if Float.is_integer v && Float.abs v < 1e15 then
+  (* JSON has no NaN/Infinity; emitting "%.6g" of those would produce
+     tokens our own parser (rightly) rejects, so map them to null. *)
+  if not (Float.is_finite v) then Buffer.add_string buf "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.0f" v)
   else Buffer.add_string buf (Printf.sprintf "%.6g" v)
 
@@ -133,7 +136,8 @@ let parse text =
       incr pos
     done;
     match float_of_string_opt (String.sub text start (!pos - start)) with
-    | Some v -> v
+    | Some v when Float.is_finite v -> v
+    | Some _ -> fail "non-finite number" (* e.g. overflowing "1e999" *)
     | None -> fail "bad number"
   in
   let rec parse_value () =

@@ -13,11 +13,13 @@ type t =
 
 (** Integer-valued floats print without a fractional part, other
     floats with ["%.6g"]-style shortest-ish form, so encoding is
-    deterministic across runs. *)
+    deterministic across runs.  Non-finite numbers (NaN, infinities)
+    encode as [null] — JSON has no token for them. *)
 val to_string : t -> string
 
 (** Parse one JSON value (e.g. one JSONL line).  Trailing whitespace
-    is allowed; trailing garbage is an error. *)
+    is allowed; trailing garbage is an error, as are [NaN]/[Infinity]
+    tokens and numbers that overflow to infinity (["1e999"]). *)
 val parse : string -> (t, string) result
 
 (** [member k j] is the value under key [k] when [j] is an object. *)

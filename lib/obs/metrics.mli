@@ -87,11 +87,15 @@ val reset : t -> unit
 (** Human-readable table, one metric per line. *)
 val pp : Format.formatter -> t -> unit
 
-(** One JSON object per line:
+(** The JSONL object for one metric:
     [{"type":"counter","name":...,"value":...}],
     [{"type":"gauge","name":...,"value":...}],
     [{"type":"histogram","name":...,"edges":[...],"counts":[...],
-      "count":...,"sum":...}]. *)
+      "count":...,"sum":...}].  {!Report.metric_of_json} is the
+    inverse. *)
+val json_of_metric : string -> value -> Json.t
+
+(** One {!json_of_metric} object per line, sorted by name. *)
 val write_jsonl : out_channel -> t -> unit
 
 val save_jsonl_file : string -> t -> unit

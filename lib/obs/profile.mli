@@ -1,0 +1,54 @@
+(** Offline profiling over a finished {!Span} log: self-time and
+    self-allocation attribution through the span tree, a per-name
+    aggregate table, and Chrome-trace ("trace event format") JSON
+    export loadable in [chrome://tracing] / Perfetto.
+
+    Everything here is a pure function of an event list — call it
+    after the traced region (typically on [Span.events ()]), or on a
+    trace parsed back from a JSONL sink with {!read_jsonl_file}.
+    Nothing touches the live registry or the tracing flag, so
+    exporting a profile cannot perturb what it measured. *)
+
+type node = {
+  event : Span.event;
+  children : node list;  (** in id order *)
+  self_wall_s : float;  (** wall time minus direct children's wall time *)
+  self_cpu_s : float;
+  self_alloc_w : float;  (** allocated words minus children's *)
+}
+
+(** Roots of the span forest (events with no parent), children nested
+    in id order.  Self metrics are clamped at 0 — children recorded
+    on other domains can overlap their parent. *)
+val tree : Span.event list -> node list
+
+type row = {
+  name : string;
+  count : int;
+  wall_s : float;  (** inclusive *)
+  self_wall_s : float;
+  alloc_w : float;  (** inclusive, words *)
+  self_alloc_w : float;
+}
+
+(** Aggregate by span name, sorted by self wall time (desc), then
+    name — the "where does the time actually go" table. *)
+val aggregate : Span.event list -> row list
+
+(** [{"traceEvents":[{"ph":"X","ts":µs,"dur":µs,"tid":domain,...}],
+    "displayTimeUnit":"ms"}]; each event's [args] carries the span
+    attrs plus [self_wall_ms]/[alloc_w]/[self_alloc_w]/[cpu_ms]. *)
+val chrome_trace : Span.event list -> Json.t
+
+val write_chrome_trace : string -> Span.event list -> unit
+
+(** Render {!aggregate} as an aligned table. *)
+val pp_table : Format.formatter -> Span.event list -> unit
+
+(** Parse one [{"type":"span",...}] JSONL object back into an event;
+    [None] for anything else. *)
+val event_of_json : Json.t -> Span.event option
+
+(** Read a JSONL trace file (as written by [Span.stream_to]); skips
+    blank, non-span and malformed lines. *)
+val read_jsonl_file : string -> Span.event list

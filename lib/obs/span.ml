@@ -4,9 +4,11 @@ type event = {
   depth : int;
   name : string;
   attrs : (string * string) list;
+  domain : int;
   start_s : float;
   wall_s : float;
   cpu_s : float;
+  alloc_w : float;
 }
 
 let enabled_flag = Atomic.make false
@@ -64,9 +66,11 @@ let json_of_event e : Json.t =
        match e.parent with None -> Json.Null | Some p -> Json.Num (float_of_int p));
       ("depth", Json.Num (float_of_int e.depth));
       ("name", Json.Str e.name);
+      ("domain", Json.Num (float_of_int e.domain));
       ("start_s", Json.Num e.start_s);
       ("wall_s", Json.Num e.wall_s);
       ("cpu_s", Json.Num e.cpu_s);
+      ("alloc_w", Json.Num e.alloc_w);
       ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.attrs)) ]
 
 let record e =
@@ -79,6 +83,12 @@ let record e =
       output_char oc '\n');
   Mutex.unlock mutex
 
+(* Words allocated so far on this domain.  quick_stat walks no heap,
+   so sampling it per span is two counter reads. *)
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
 let with_ ?attrs ~name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
@@ -88,10 +98,10 @@ let with_ ?attrs ~name f =
       match outer with [] -> (None, 0) | (p, d) :: _ -> (Some p, d + 1)
     in
     Domain.DLS.set stack_key ((id, depth) :: outer);
-    let w0 = Clock.wall () and c0 = Clock.cpu () in
+    let w0 = Clock.wall () and c0 = Clock.cpu () and a0 = allocated_words () in
     Fun.protect
       ~finally:(fun () ->
-        let w1 = Clock.wall () and c1 = Clock.cpu () in
+        let w1 = Clock.wall () and c1 = Clock.cpu () and a1 = allocated_words () in
         Domain.DLS.set stack_key outer;
         record
           {
@@ -100,9 +110,11 @@ let with_ ?attrs ~name f =
             depth;
             name;
             attrs = (match attrs with None -> [] | Some f -> f ());
+            domain = (Domain.self () :> int);
             start_s = w0 -. !epoch;
             wall_s = w1 -. w0;
             cpu_s = c1 -. c0;
+            alloc_w = Float.max 0.0 (a1 -. a0);
           })
       f
   end
@@ -126,9 +138,12 @@ let pp_tree ppf evs =
     |> List.sort (fun a b -> Int.compare a.id b.id)
   in
   let rec walk indent e =
-    Format.fprintf ppf "@,%s%-*s wall=%.4fs cpu=%.4fs%s" indent
+    Format.fprintf ppf "@,%s%-*s wall=%.4fs cpu=%.4fs%s%s" indent
       (max 1 (32 - String.length indent))
       e.name e.wall_s e.cpu_s
+      (if e.alloc_w > 0.0 then
+         Printf.sprintf " alloc=%.1fMw" (e.alloc_w /. 1e6)
+       else "")
       (match e.attrs with
       | [] -> ""
       | attrs ->

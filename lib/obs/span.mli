@@ -13,11 +13,17 @@
     attached, streamed as one JSON object per line:
 
     [{"type":"span","id":N,"parent":N|null,"depth":N,"name":S,
-      "start_s":F,"wall_s":F,"cpu_s":F,"attrs":{...}}]
+      "domain":N,"start_s":F,"wall_s":F,"cpu_s":F,"alloc_w":F,
+      "attrs":{...}}]
 
     [start_s] is seconds since {!enable}; ids are unique and
     allocation-ordered, so a trace can be re-ordered or re-nested
-    offline. *)
+    offline.  Each span also samples [Gc.quick_stat] at entry and
+    exit and records the words allocated in between ([alloc_w]) —
+    quick_stat reads counters without walking the heap, so the
+    enabled-path cost stays small (see the profiling-overhead
+    ablation in DESIGN.md).  {!Profile} turns a finished log into
+    self-time/self-allocation attribution and Chrome-trace JSON. *)
 
 type event = {
   id : int;
@@ -25,9 +31,11 @@ type event = {
   depth : int;
   name : string;
   attrs : (string * string) list;
+  domain : int;  (** recording domain, for per-track trace export *)
   start_s : float;  (** seconds since {!enable} *)
   wall_s : float;
   cpu_s : float;
+  alloc_w : float;  (** words allocated during the span (incl. children) *)
 }
 
 val enabled : unit -> bool

@@ -8,7 +8,8 @@ type request =
   | Whatif of { gate : string; change : whatif_change }
   | Cds of { region : Geometry.Rect.t option }
   | Corner of { dose : float; defocus : float; spread : float option }
-  | Metrics
+  | Metrics of { all : bool }
+  | Profile of { target : request }
   | Shutdown
 
 let verb = function
@@ -17,7 +18,8 @@ let verb = function
   | Whatif _ -> "whatif"
   | Cds _ -> "cds"
   | Corner _ -> "corner"
-  | Metrics -> "metrics"
+  | Metrics _ -> "metrics"
+  | Profile _ -> "profile"
   | Shutdown -> "shutdown"
 
 type path_report = {
@@ -57,7 +59,16 @@ type reply =
       tns : float;
       corners : (string * float) list;
     }
-  | Metrics_r of (string * int) list
+  | Metrics_r of {
+      counters : (string * int) list;
+      registry : (string * Obs.Metrics.value) list option;
+    }
+  | Profile_r of {
+      target : string;
+      target_ok : bool;
+      spans : int;
+      trace : J.t;  (** Chrome-trace object for the profiled request *)
+    }
   | Shutdown_r
 
 type response = {
@@ -73,7 +84,7 @@ let int_field v = J.Num (float_of_int v)
 let opt_id id fields =
   match id with Some i -> ("id", int_field i) :: fields | None -> fields
 
-let request_to_json ?id r =
+let rec request_to_json ?id r =
   let fields =
     match r with
     | Status -> [ ("verb", J.Str "status") ]
@@ -102,7 +113,10 @@ let request_to_json ?id r =
         [ ("verb", J.Str "corner"); ("dose", J.Num dose);
           ("defocus", J.Num defocus) ]
         @ match spread with None -> [] | Some s -> [ ("spread", J.Num s) ])
-    | Metrics -> [ ("verb", J.Str "metrics") ]
+    | Metrics { all } ->
+        ("verb", J.Str "metrics") :: (if all then [ ("all", J.Bool true) ] else [])
+    | Profile { target } ->
+        [ ("verb", J.Str "profile"); ("of", request_to_json target) ]
     | Shutdown -> [ ("verb", J.Str "shutdown") ]
   in
   J.Obj (opt_id id fields)
@@ -134,12 +148,16 @@ let require name = function
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "missing field %S" name)
 
-let parse_request line =
-  let* j =
-    match J.parse line with
-    | Ok j -> Ok j
-    | Error e -> Error ("bad JSON: " ^ e)
-  in
+let get_bool name j =
+  match J.member name j with
+  | Some (J.Bool b) -> Ok (Some b)
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+  | None -> Ok None
+
+(* [nested] marks the object under a profile request's ["of"] field:
+   profiling composes with every verb except profile itself (no
+   recursion) and shutdown (a side effect, not a measurement). *)
+let rec parse_request_obj ~nested j =
   (match j with J.Obj _ -> Ok () | _ -> Error "request must be a JSON object")
   |> fun ok ->
   let* () = ok in
@@ -183,11 +201,34 @@ let parse_request line =
         let* defocus = require "defocus" defocus in
         let* spread = get_float "spread" j in
         Ok (Corner { dose; defocus; spread })
-    | "metrics" -> Ok Metrics
+    | "metrics" ->
+        let* all = get_bool "all" j in
+        Ok (Metrics { all = Option.value all ~default:false })
+    | "profile" ->
+        if nested then Error "profile cannot wrap profile"
+        else
+          let* target =
+            match J.member "of" j with
+            | None -> Ok Status
+            | Some tj ->
+                let* _id, t = parse_request_obj ~nested:true tj in
+                Ok t
+          in
+          (match target with
+          | Shutdown -> Error "profile cannot wrap shutdown"
+          | _ -> Ok (Profile { target }))
     | "shutdown" -> Ok Shutdown
     | v -> Error (Printf.sprintf "unknown verb %S" v)
   in
   Ok (id, request)
+
+let parse_request line =
+  let* j =
+    match J.parse line with
+    | Ok j -> Ok j
+    | Error e -> Error ("bad JSON: " ^ e)
+  in
+  parse_request_obj ~nested:false j
 
 (* ---- responses -------------------------------------------------- *)
 
@@ -239,13 +280,47 @@ let reply_fields = function
                (fun (name, wns) ->
                  J.Obj [ ("name", J.Str name); ("wns_ps", J.Num wns) ])
                c.corners) ) ]
-  | Metrics_r counters ->
-      [ ( "counters",
-          J.Arr
-            (List.map
-               (fun (name, v) ->
-                 J.Obj [ ("name", J.Str name); ("value", int_field v) ])
-               counters) ) ]
+  | Metrics_r { counters; registry } ->
+      ( "counters",
+        J.Arr
+          (List.map
+             (fun (name, v) ->
+               J.Obj [ ("name", J.Str name); ("value", int_field v) ])
+             counters) )
+      :: (match registry with
+         | None -> []
+         | Some metrics ->
+             (* The quantiles section is derived from the registry's
+                serve.latency.* histograms at serialisation time, so
+                it carries no state of its own and parsing ignores
+                it. *)
+             let quantiles =
+               List.filter_map
+                 (fun (name, v) ->
+                   match v with
+                   | Obs.Metrics.Histogram h
+                     when String.starts_with ~prefix:"serve.latency." name ->
+                       Some
+                         (J.Obj
+                            (("name", J.Str name)
+                            :: ("count", int_field h.Obs.Metrics.count)
+                            :: List.map
+                                 (fun (q, v) -> (q, J.Num v))
+                                 (Obs.Report.quantiles h)))
+                   | _ -> None)
+                 metrics
+             in
+             [ ( "registry",
+                 J.Arr
+                   (List.map
+                      (fun (name, v) -> Obs.Metrics.json_of_metric name v)
+                      metrics) );
+               ("quantiles", J.Arr quantiles) ])
+  | Profile_r p ->
+      [ ("target", J.Str p.target);
+        ("target_ok", J.Bool p.target_ok);
+        ("spans", int_field p.spans);
+        ("trace", p.trace) ]
   | Shutdown_r -> []
 
 let response_to_json r =
@@ -363,7 +438,35 @@ let parse_reply verb j =
               items (Ok [])
         | _ -> Error "missing field \"counters\""
       in
-      Ok (Metrics_r counters)
+      let* registry =
+        match J.member "registry" j with
+        | None -> Ok None
+        | Some (J.Arr items) ->
+            let* metrics =
+              List.fold_right
+                (fun item acc ->
+                  let* acc = acc in
+                  match Obs.Report.metric_of_json item with
+                  | Some m -> Ok (m :: acc)
+                  | None -> Error "bad registry entry")
+                items (Ok [])
+            in
+            Ok (Some metrics)
+        | Some _ -> Error "field \"registry\" must be an array"
+      in
+      (* "quantiles" is derived from the registry on serialisation;
+         nothing to keep. *)
+      Ok (Metrics_r { counters; registry })
+  | "profile" ->
+      let* target = req_str "target" j in
+      let* target_ok =
+        match J.member "target_ok" j with
+        | Some (J.Bool b) -> Ok b
+        | _ -> Error "missing field \"target_ok\""
+      in
+      let* spans = req_int "spans" j in
+      let* trace = require "trace" (J.member "trace" j) in
+      Ok (Profile_r { target; target_ok; spans; trace })
   | "shutdown" -> Ok Shutdown_r
   | v -> Error (Printf.sprintf "unknown verb %S in response" v)
 

@@ -23,8 +23,17 @@
                                          process condition; add "spread" for
                                          the classic CD-corner views too
     {"verb":"metrics"}                   session counters (serve.* only)
+    {"verb":"metrics","all":true}        ... plus the full global registry
+                                         and p50/p95/p99 latency quantiles
+    {"verb":"profile"}                   Chrome-trace span tree of a status query
+    {"verb":"profile","of":{"verb":"retime"}}      ... of any other verb
     {"verb":"shutdown"}                  reply, then stop the server
     v}
+
+    The plain [metrics] reply is a pure function of this session's
+    request history, so it can appear in golden scripts; [all:true]
+    and [profile] replies carry wall-clock data (gauges, histograms,
+    span timings) and must not.
 
     Responses are [{"id":N,"verb":V,"ok":true,...}] on success and
     [{"id":N,"ok":false,"error":S}] (with the verb when it parsed) on
@@ -43,7 +52,10 @@ type request =
   | Whatif of { gate : string; change : whatif_change }
   | Cds of { region : Geometry.Rect.t option }
   | Corner of { dose : float; defocus : float; spread : float option }
-  | Metrics
+  | Metrics of { all : bool }
+  | Profile of { target : request }
+      (** profile [target] and reply with its span tree; [target] may
+          be any verb except [profile] and [shutdown] *)
   | Shutdown
 
 (** The wire name of a request's verb ("status", "retime", ...). *)
@@ -93,7 +105,19 @@ type reply =
       tns : float;
       corners : (string * float) list;  (** classic corner name, wns *)
     }
-  | Metrics_r of (string * int) list  (** session counters, sorted *)
+  | Metrics_r of {
+      counters : (string * int) list;  (** session counters, sorted *)
+      registry : (string * Obs.Metrics.value) list option;
+          (** full global registry when the request said [all:true];
+              serialised with a derived [quantiles] section holding
+              p50/p95/p99 for every [serve.latency.*] histogram *)
+    }
+  | Profile_r of {
+      target : string;  (** verb of the profiled request *)
+      target_ok : bool;  (** whether the profiled request succeeded *)
+      spans : int;
+      trace : Obs.Json.t;  (** {!Obs.Profile.chrome_trace} object *)
+    }
   | Shutdown_r
 
 type response = {

@@ -16,13 +16,23 @@
 (** [serve_channels session ic oc] answers requests from [ic] on [oc]
     until end-of-input or a [shutdown] request.  Returns [true] when
     the loop ended because of [shutdown] (used by the socket accept
-    loop), [false] on end-of-input. *)
-val serve_channels : Session.t -> in_channel -> out_channel -> bool
+    loop), [false] on end-of-input.
+
+    [slowlog = (threshold_ms, sink)] turns on the slow-query log:
+    every request whose handling (transport-inclusive, as seen by
+    this loop) takes at least [threshold_ms] milliseconds appends one
+    structured JSONL line to [sink] —
+    [{"type":"slowquery","id":N,"verb":V|null,"ok":B,"wall_ms":F}] —
+    flushed per line.  The sink is never the response channel, so the
+    byte-determinism contract on responses is unaffected; [potx serve
+    --slowlog MS] points it at stderr by default. *)
+val serve_channels :
+  ?slowlog:float * out_channel -> Session.t -> in_channel -> out_channel -> bool
 
 (** Serve stdin/stdout until end-of-input or [shutdown]. *)
-val serve_stdio : Session.t -> unit
+val serve_stdio : ?slowlog:float * out_channel -> Session.t -> unit
 
 (** Bind a Unix-domain socket at [path] (an existing file there is
     replaced), then accept and serve one client at a time until some
     client sends [shutdown].  The socket file is removed on return. *)
-val serve_socket : Session.t -> path:string -> unit
+val serve_socket : ?slowlog:float * out_channel -> Session.t -> path:string -> unit

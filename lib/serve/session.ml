@@ -282,7 +282,7 @@ let corner t ~dose ~defocus ~spread =
          corners;
        })
 
-let handle t (request : Protocol.request) =
+let rec handle t (request : Protocol.request) =
   match request with
   | Protocol.Status -> status t
   | Protocol.Retime { endpoint } -> retime t endpoint
@@ -292,17 +292,81 @@ let handle t (request : Protocol.request) =
       move t gate dx dy
   | Protocol.Cds { region } -> cds t region
   | Protocol.Corner { dose; defocus; spread } -> corner t ~dose ~defocus ~spread
-  | Protocol.Metrics -> Ok (Protocol.Metrics_r (counters t))
+  | Protocol.Metrics { all } ->
+      Ok
+        (Protocol.Metrics_r
+           {
+             counters = counters t;
+             registry =
+               (if all then Some (Obs.Metrics.snapshot Obs.Metrics.global)
+                else None);
+           })
+  | Protocol.Profile { target } -> profile t target
   | Protocol.Shutdown -> Ok Protocol.Shutdown_r
+
+(* Run the target request under span tracing and reply with its span
+   tree as a Chrome-trace object.  When the process is already
+   tracing (e.g. `potx serve --trace`), the live log is left alone
+   and the reply carries the slice recorded during the target; when
+   it is not, tracing is enabled only for the duration of the target,
+   so profiling one request never perturbs another's span log. *)
+and profile t target =
+  let was_enabled = Obs.Span.enabled () in
+  let mark =
+    if was_enabled then
+      List.fold_left
+        (fun acc (e : Obs.Span.event) -> max acc e.Obs.Span.id)
+        (-1) (Obs.Span.events ())
+    else begin
+      Obs.Span.enable ();
+      -1
+    end
+  in
+  let result =
+    Obs.Span.with_ ~name:("serve.profile." ^ Protocol.verb target) (fun () ->
+        handle t target)
+  in
+  let events =
+    List.filter
+      (fun (e : Obs.Span.event) -> e.Obs.Span.id > mark)
+      (Obs.Span.events ())
+  in
+  if not was_enabled then Obs.Span.disable ();
+  Ok
+    (Protocol.Profile_r
+       {
+         target = Protocol.verb target;
+         target_ok = Result.is_ok result;
+         spans = List.length events;
+         trace = Obs.Profile.chrome_trace events;
+       })
+
+(* Request latency histograms, one per verb, milliseconds.  Edges
+   span sub-ms status hits through multi-second corner sweeps; counts
+   are deterministic only in aggregate shape, not placement (wall
+   time), so like every histogram they stay out of golden output. *)
+let latency_edges =
+  [| 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0;
+     500.0; 1000.0; 2500.0; 5000.0; 10000.0 |]
+
+let observe_latency verb ms =
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram ~edges:latency_edges ("serve.latency." ^ verb))
+    ms
 
 let handle_line t line =
   t.next_seq <- t.next_seq + 1;
   let seq = t.next_seq in
   bump t "serve.requests";
+  let t0 = Unix.gettimeofday () in
+  let finish verb response =
+    observe_latency verb ((Unix.gettimeofday () -. t0) *. 1e3);
+    response
+  in
   match Protocol.parse_request line with
   | Error e ->
       bump t "serve.errors";
-      { Protocol.id = seq; verb = None; reply = Error e }
+      finish "invalid" { Protocol.id = seq; verb = None; reply = Error e }
   | Ok (explicit_id, request) ->
       let id = Option.value explicit_id ~default:seq in
       let verb = Protocol.verb request in
@@ -318,7 +382,7 @@ let handle_line t line =
         | exception Failure msg -> Error msg
       in
       (match reply with Error _ -> bump t "serve.errors" | Ok _ -> ());
-      { Protocol.id; verb = Some verb; reply }
+      finish verb { Protocol.id; verb = Some verb; reply }
 
 (* ---- the classic one-shot report -------------------------------- *)
 

@@ -203,6 +203,196 @@ let test_trace_jsonl_parses_back () =
       | Error e -> Alcotest.fail ("bad trace line: " ^ e))
     lines
 
+(* ---- JSON edge cases ---- *)
+
+let test_json_nested_roundtrip () =
+  let j =
+    Obs.Json.Obj
+      [ ( "outer",
+          Obs.Json.Obj
+            [ ("arr", Obs.Json.Arr [ Obs.Json.Obj [ ("deep", Obs.Json.Arr [ Obs.Json.Arr [] ]) ];
+                                     Obs.Json.Obj [] ]);
+              ("empty", Obs.Json.Obj []) ] );
+        ("tail", Obs.Json.Arr [ Obs.Json.Null; Obs.Json.Bool false ]) ]
+  in
+  match Obs.Json.parse (Obs.Json.to_string j) with
+  | Ok j' -> checkb "nested obj/arr round-trips" true (j = j')
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_json_escapes () =
+  let s = "quote\" back\\ slash/ nl\n cr\r tab\t ctl\x01\x02" in
+  (match Obs.Json.parse (Obs.Json.to_string (Obs.Json.Str s)) with
+  | Ok (Obs.Json.Str s') -> checks "escapes round-trip" s s'
+  | Ok _ -> Alcotest.fail "string became a non-string"
+  | Error e -> Alcotest.fail ("parse failed: " ^ e));
+  checkb "\\u0041 decodes to A" true
+    (Obs.Json.parse "\"\\u0041\"" = Ok (Obs.Json.Str "A"))
+
+let test_json_nonfinite_emission () =
+  (* JSON has no NaN/Infinity: non-finite Nums must serialise as null
+     so the file stays parsable (by us and by everyone else). *)
+  checks "nan -> null" "null" (Obs.Json.to_string (Obs.Json.Num Float.nan));
+  checks "inf -> null" "null" (Obs.Json.to_string (Obs.Json.Num Float.infinity));
+  checks "in context" "[null,null,1]"
+    (Obs.Json.to_string
+       (Obs.Json.Arr
+          [ Obs.Json.Num Float.neg_infinity; Obs.Json.Num Float.nan; Obs.Json.Num 1.0 ]))
+
+let test_json_parse_rejections () =
+  List.iter
+    (fun bad ->
+      match Obs.Json.parse bad with
+      | Ok _ -> Alcotest.failf "parse accepted %S" bad
+      | Error _ -> ())
+    [ "NaN"; "Infinity"; "-Infinity"; "1e999"; "[1e999]"; "{\"a\":1} x";
+      "1 2"; "[1,]"; "{\"a\":}"; "\"unterminated" ]
+
+(* ---- span record-on-raise nesting ---- *)
+
+let test_span_raise_restores_nesting () =
+  Obs.Span.enable ();
+  (try
+     Obs.Span.with_ ~name:"outer" (fun () ->
+         (try Obs.Span.with_ ~name:"inner" (fun () -> failwith "inner boom")
+          with Failure _ -> ());
+         (* The stack must be back at "outer" here, or this span would
+            be parented at the dead "inner". *)
+         Obs.Span.with_ ~name:"sibling" (fun () -> ());
+         failwith "outer boom")
+   with Failure _ -> ());
+  Obs.Span.disable ();
+  let evs = Obs.Span.events () in
+  checki "all three spans recorded" 3 (List.length evs);
+  let find name = List.find (fun (e : Obs.Span.event) -> e.Obs.Span.name = name) evs in
+  let outer = find "outer" and inner = find "inner" and sibling = find "sibling" in
+  checkb "outer is a root" true (outer.Obs.Span.parent = None);
+  checkb "inner parented at outer" true (inner.Obs.Span.parent = Some outer.Obs.Span.id);
+  checkb "sibling parented at outer, not inner" true
+    (sibling.Obs.Span.parent = Some outer.Obs.Span.id);
+  checki "sibling depth restored" 1 sibling.Obs.Span.depth
+
+let test_span_alloc_counted () =
+  Obs.Span.enable ();
+  Obs.Span.with_ ~name:"alloc" (fun () ->
+      ignore (Sys.opaque_identity (Array.make 100_000 0.0)));
+  Obs.Span.disable ();
+  match Obs.Span.events () with
+  | [ e ] ->
+      checkb "alloc_w covers the 100k-word array" true (e.Obs.Span.alloc_w >= 100_000.0)
+  | evs -> Alcotest.failf "expected one span, got %d" (List.length evs)
+
+(* ---- profile attribution ---- *)
+
+let ev ~id ?parent ~name ~wall ?(alloc = 0.0) () : Obs.Span.event =
+  { Obs.Span.id; parent; depth = (match parent with None -> 0 | Some _ -> 1);
+    name; attrs = []; domain = 0; start_s = 0.0; wall_s = wall; cpu_s = wall;
+    alloc_w = alloc }
+
+let test_profile_self_time () =
+  let evs =
+    [ ev ~id:0 ~name:"root" ~wall:1.0 ~alloc:1000.0 ();
+      ev ~id:1 ~parent:0 ~name:"child" ~wall:0.3 ~alloc:400.0 ();
+      ev ~id:2 ~parent:0 ~name:"child" ~wall:0.2 ~alloc:900.0 () ]
+  in
+  (match Obs.Profile.tree evs with
+  | [ root ] ->
+      checks "root name" "root" root.Obs.Profile.event.Obs.Span.name;
+      checki "two children" 2 (List.length root.Obs.Profile.children);
+      checkb "self wall = own - children" true
+        (Float.abs (root.Obs.Profile.self_wall_s -. 0.5) < 1e-9);
+      (* children allocated more than the parent recorded (multi-domain
+         overlap): self allocation clamps at 0, never goes negative. *)
+      checkb "self alloc clamped at 0" true (root.Obs.Profile.self_alloc_w = 0.0)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots));
+  let rows = Obs.Profile.aggregate evs in
+  let row name = List.find (fun (r : Obs.Profile.row) -> r.Obs.Profile.name = name) rows in
+  let child = row "child" in
+  checki "child count aggregates" 2 child.Obs.Profile.count;
+  checkb "child inclusive wall" true (Float.abs (child.Obs.Profile.wall_s -. 0.5) < 1e-9);
+  checkb "leaf self = inclusive" true
+    (Float.abs (child.Obs.Profile.self_wall_s -. 0.5) < 1e-9)
+
+let test_profile_orphan_becomes_root () =
+  (* A span whose parent is missing from the capture (still open when
+     the slice was taken, as in the serve `profile` verb) must surface
+     as a root, not vanish. *)
+  let evs = [ ev ~id:5 ~parent:99 ~name:"orphan" ~wall:0.1 () ] in
+  match Obs.Profile.tree evs with
+  | [ root ] -> checks "orphan is a root" "orphan" root.Obs.Profile.event.Obs.Span.name
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_profile_chrome_trace () =
+  let evs =
+    [ ev ~id:0 ~name:"root" ~wall:1.0 (); ev ~id:1 ~parent:0 ~name:"child" ~wall:0.25 () ]
+  in
+  let j = Obs.Profile.chrome_trace evs in
+  (match Obs.Json.member "displayTimeUnit" j with
+  | Some (Obs.Json.Str "ms") -> ()
+  | _ -> Alcotest.fail "missing displayTimeUnit");
+  match Obs.Json.member "traceEvents" j with
+  | Some (Obs.Json.Arr tes) ->
+      checki "one trace event per span" 2 (List.length tes);
+      List.iter
+        (fun te ->
+          checkb "complete event" true (Obs.Json.member "ph" te = Some (Obs.Json.Str "X"));
+          checkb "has ts" true (Obs.Json.member "ts" te <> None);
+          checkb "has dur" true (Obs.Json.member "dur" te <> None))
+        tes;
+      let dur0 = Option.bind (Obs.Json.member "dur" (List.hd tes)) Obs.Json.to_float in
+      checkb "dur is microseconds" true (dur0 = Some 1e6)
+  | _ -> Alcotest.fail "missing traceEvents"
+
+(* ---- report: quantiles and derived figures ---- *)
+
+let hist ~edges ~counts ~sum : Obs.Metrics.histogram_snapshot =
+  { Obs.Metrics.edges; counts; count = Array.fold_left ( + ) 0 counts; sum }
+
+let test_report_quantile () =
+  let h = hist ~edges:[| 1.0; 2.0; 5.0 |] ~counts:[| 2; 2; 1; 1 |] ~sum:12.0 in
+  let q p = Obs.Report.quantile h p in
+  checkb "p50 interpolates inside bucket 2" true (Float.abs (q 0.5 -. 1.5) < 1e-9);
+  checkb "q=1.0 hits the overflow bucket -> last edge" true (q 1.0 = 5.0);
+  checkb "q clamps below 0" true (q (-1.0) <= 1.0);
+  checkb "empty histogram -> 0" true
+    (Obs.Report.quantile (hist ~edges:[| 1.0 |] ~counts:[| 0; 0 |] ~sum:0.0) 0.5 = 0.0);
+  checkb "quantiles keyed p50/p95/p99" true
+    (List.map fst (Obs.Report.quantiles h) = [ "p50"; "p95"; "p99" ])
+
+let test_report_metric_roundtrip () =
+  let metrics =
+    [ ("a.count", Obs.Metrics.Counter 42);
+      ("a.wall_s", Obs.Metrics.Gauge 1.5);
+      ( "a.lat",
+        Obs.Metrics.Histogram
+          (hist ~edges:[| 0.5; 1.0; 2.0 |] ~counts:[| 2; 1; 0; 1 |] ~sum:4.25) ) ]
+  in
+  List.iter
+    (fun (name, v) ->
+      match Obs.Report.metric_of_json (Obs.Metrics.json_of_metric name v) with
+      | Some (name', v') ->
+          checks "name survives" name name';
+          checkb ("value survives: " ^ name) true (v = v')
+      | None -> Alcotest.fail ("metric_of_json rejected " ^ name))
+    metrics
+
+let test_report_derived () =
+  let ms =
+    [ ("litho.cache.hits", Obs.Metrics.Counter 3);
+      ("litho.cache.misses", Obs.Metrics.Counter 1);
+      ("exec.pool.p.busy_s", Obs.Metrics.Gauge 2.0);
+      ("exec.pool.p.up_s", Obs.Metrics.Gauge 4.0);
+      ("exec.pool.p.domains", Obs.Metrics.Gauge 2.0) ]
+  in
+  checkb "hit rate 3/4" true (Obs.Report.cache_hit_rate ms = Some 0.75);
+  checkb "no cache traffic -> None" true (Obs.Report.cache_hit_rate [] = None);
+  checkb "pool discovered" true (Obs.Report.pool_names ms = [ "p" ]);
+  checkb "occupancy = busy/(up*domains)" true
+    (Obs.Report.pool_occupancy ~pool:"p" ms = Some 0.25);
+  checkb "occupancy needs up_s" true
+    (Obs.Report.pool_occupancy ~pool:"p"
+       [ ("exec.pool.p.busy_s", Obs.Metrics.Gauge 2.0) ]
+    = None)
+
 (* ---- worker-count independence of flow metrics ---- *)
 
 let test_flow_metrics_domain_independent () =
@@ -249,6 +439,9 @@ let () =
         [
           Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
           Alcotest.test_case "raise still records" `Quick test_span_survives_exception;
+          Alcotest.test_case "raise restores nesting" `Quick
+            test_span_raise_restores_nesting;
+          Alcotest.test_case "alloc_w counted" `Quick test_span_alloc_counted;
           Alcotest.test_case "disabled no-op" `Quick test_disabled_is_noop;
           Alcotest.test_case "pp_tree" `Quick test_pp_tree_renders;
         ] );
@@ -260,8 +453,24 @@ let () =
       ( "jsonl",
         [
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "nested roundtrip" `Quick test_json_nested_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "non-finite emits null" `Quick test_json_nonfinite_emission;
+          Alcotest.test_case "parser rejections" `Quick test_json_parse_rejections;
           Alcotest.test_case "metrics parse back" `Quick test_metrics_jsonl_parses_back;
           Alcotest.test_case "trace parses back" `Quick test_trace_jsonl_parses_back;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "self-time attribution" `Quick test_profile_self_time;
+          Alcotest.test_case "orphan becomes root" `Quick test_profile_orphan_becomes_root;
+          Alcotest.test_case "chrome trace" `Quick test_profile_chrome_trace;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "quantile" `Quick test_report_quantile;
+          Alcotest.test_case "metric json roundtrip" `Quick test_report_metric_roundtrip;
+          Alcotest.test_case "derived figures" `Quick test_report_derived;
         ] );
       ( "flow",
         [

@@ -9,6 +9,7 @@
 module F = Timing_opc.Flow
 module P = Timing_opc_serve.Protocol
 module Session = Timing_opc_serve.Session
+module Server = Timing_opc_serve.Server
 
 let checkb = Alcotest.(check bool)
 
@@ -58,7 +59,12 @@ let all_requests =
     P.Cds { region = Some (Geometry.Rect.make ~lx:0 ~ly:0 ~hx:3000 ~hy:3000) };
     P.Corner { dose = 1.03; defocus = 90.0; spread = None };
     P.Corner { dose = 0.97; defocus = 30.0; spread = Some 8.0 };
-    P.Metrics;
+    P.Metrics { all = false };
+    P.Metrics { all = true };
+    P.Profile { target = P.Status };
+    P.Profile { target = P.Retime { endpoint = Some 9 } };
+    P.Profile
+      { target = P.Whatif { gate = "g22"; change = P.Resize { dl = 3.5 } } };
     P.Shutdown;
   ]
 
@@ -120,7 +126,59 @@ let all_replies =
           tns = -0.5;
           corners = [ ("fast", 6.25); ("nominal", 1.875); ("slow", -2.375) ];
         } );
-    ("metrics", P.Metrics_r [ ("serve.requests", 5); ("serve.verb.cds", 1) ]);
+    ( "metrics",
+      P.Metrics_r
+        {
+          counters = [ ("serve.requests", 5); ("serve.verb.cds", 1) ];
+          registry = None;
+        } );
+    ( "metrics",
+      (* all:true shape — counters plus a full registry dump; float
+         values here are chosen to survive the %.6g wire encoding so
+         the round-trip compares structurally equal. *)
+      P.Metrics_r
+        {
+          counters = [ ("serve.requests", 5) ];
+          registry =
+            Some
+              [
+                ("flow.runs", Obs.Metrics.Counter 3);
+                ("opc.wall_s", Obs.Metrics.Gauge 1.5);
+                ( "serve.latency.retime",
+                  Obs.Metrics.Histogram
+                    {
+                      Obs.Metrics.edges = [| 0.5; 1.0; 2.0 |];
+                      counts = [| 2; 1; 0; 1 |];
+                      count = 4;
+                      sum = 4.25;
+                    } );
+              ];
+        } );
+    ( "profile",
+      P.Profile_r
+        {
+          target = "retime";
+          target_ok = true;
+          spans = 2;
+          trace =
+            Obs.Json.Obj
+              [
+                ( "traceEvents",
+                  Obs.Json.Arr
+                    [
+                      Obs.Json.Obj
+                        [
+                          ("name", Obs.Json.Str "serve.profile.retime");
+                          ("ph", Obs.Json.Str "X");
+                          ("ts", Obs.Json.Num 0.0);
+                          ("dur", Obs.Json.Num 1250.0);
+                          ("pid", Obs.Json.Num 1.0);
+                          ("tid", Obs.Json.Num 0.0);
+                        ];
+                    ] );
+                ("displayTimeUnit", Obs.Json.Str "ms");
+              ];
+        } );
     ("shutdown", P.Shutdown_r);
   ]
 
@@ -156,6 +214,11 @@ let malformed =
     {|{"verb":"corner","dose":1.0}|};
     {|{"verb":"corner","defocus":30}|};
     {|{"verb":"retime","endpoint":1.5}|};
+    {|{"verb":"metrics","all":1}|};
+    {|{"verb":"profile","of":{"verb":"profile"}}|};
+    {|{"verb":"profile","of":{"verb":"shutdown"}}|};
+    {|{"verb":"profile","of":{"verb":"zap"}}|};
+    {|{"verb":"profile","of":"retime"}|};
   ]
 
 let test_malformed_requests () =
@@ -307,6 +370,166 @@ let test_cds_matches_records () =
         (List.length records < List.length r.F.cds)
   | _ -> Alcotest.fail "not a cds reply"
 
+(* ---- observability verbs ---- *)
+
+(* Plain metrics: session counters only, no registry.  all:true: the
+   full global registry rides along, including the per-verb latency
+   histograms, and the wire form carries the derived quantiles. *)
+let test_metrics_all () =
+  let s = session_for 1 in
+  (* Ensure at least one retime has been latency-observed. *)
+  ignore (Session.handle_line s {|{"verb":"retime"}|});
+  (match reply_exn s (P.Metrics { all = false }) with
+  | P.Metrics_r { registry = None; counters } ->
+      checkb "session counters present" true
+        (List.mem_assoc "serve.requests" counters)
+  | _ -> Alcotest.fail "plain metrics must not carry the registry");
+  let response = Session.handle_line s {|{"verb":"metrics","all":true}|} in
+  (match response.P.reply with
+  | Ok (P.Metrics_r { registry = Some metrics; _ }) ->
+      checkb "latency histogram in registry" true
+        (match List.assoc_opt "serve.latency.retime" metrics with
+        | Some (Obs.Metrics.Histogram h) -> h.Obs.Metrics.count > 0
+        | _ -> false)
+  | _ -> Alcotest.fail "metrics all:true must carry the registry");
+  let line = P.response_to_string response in
+  checkb "wire form has quantiles" true
+    (let contains hay needle =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+       go 0
+     in
+     contains line "\"quantiles\"" && contains line "\"p95\"");
+  (* And the whole reply round-trips through the client parser. *)
+  match P.parse_response line with
+  | Ok r' -> checks "round-trip" line (P.response_to_string r')
+  | Error e -> Alcotest.failf "metrics all reply failed to reparse: %s" e
+
+let test_profile_verb () =
+  let s = session_for 1 in
+  checkb "tracing off before" true (not (Obs.Span.enabled ()));
+  let response =
+    Session.handle_line s {|{"verb":"profile","of":{"verb":"retime"}}|}
+  in
+  checkb "tracing off after" true (not (Obs.Span.enabled ()));
+  match response.P.reply with
+  | Ok (P.Profile_r { target; target_ok; spans; trace }) ->
+      checks "target" "retime" target;
+      checkb "target ok" true target_ok;
+      checkb "recorded spans" true (spans >= 1);
+      (* The trace is a valid Chrome-trace object whose event count
+         matches the reported span count, and the wire line reparses. *)
+      (match Obs.Json.member "traceEvents" trace with
+      | Some (Obs.Json.Arr events) ->
+          checki "trace events = spans" spans (List.length events);
+          List.iter
+            (fun e ->
+              checkb "event has ts/dur/name" true
+                (Obs.Json.member "ts" e <> None
+                && Obs.Json.member "dur" e <> None
+                && Obs.Json.member "name" e <> None))
+            events
+      | _ -> Alcotest.fail "trace has no traceEvents array");
+      (match P.parse_response (P.response_to_string response) with
+      | Ok r' ->
+          checks "profile reply round-trips" (P.response_to_string response)
+            (P.response_to_string r')
+      | Error e -> Alcotest.failf "profile reply failed to reparse: %s" e)
+  | _ -> Alcotest.fail "not a profile reply"
+
+(* Profiling must not change a single response byte: the same query
+   answered with tracing off and on (ids pinned — the session's
+   sequence number advances) is byte-identical. *)
+let test_profiling_preserves_bytes () =
+  let s = session_for 1 in
+  let pin line =
+    let r = Session.handle_line s line in
+    P.response_to_string { r with P.id = 0 }
+  in
+  let lines =
+    [
+      {|{"verb":"status"}|};
+      {|{"verb":"retime"}|};
+      {|{"verb":"whatif","gate":"g22","dl":3.0}|};
+      {|{"verb":"cds","lx":0,"ly":0,"hx":3000,"hy":3000}|};
+      {|{"verb":"corner","dose":1.03,"defocus":90}|};
+    ]
+  in
+  let off = List.map pin lines in
+  Obs.Span.enable ();
+  let on =
+    Fun.protect ~finally:Obs.Span.disable (fun () -> List.map pin lines)
+  in
+  List.iteri
+    (fun i (a, b) ->
+      checks (Printf.sprintf "line %d bytes identical under tracing" i) a b)
+    (List.combine off on)
+
+(* The slow-query log: threshold 0 logs one structured line per
+   request on the sink (never the response channel); an unreachable
+   threshold logs nothing. *)
+let test_slowlog () =
+  let s = session_for 1 in
+  let script_path = Filename.temp_file "potx_slowlog" ".jsonl" in
+  let out_path = Filename.temp_file "potx_slowlog" ".out" in
+  let sink_path = Filename.temp_file "potx_slowlog" ".log" in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove [ script_path; out_path; sink_path ])
+  @@ fun () ->
+  let write path lines =
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc
+  in
+  let read_lines path =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  write script_path [ {|{"verb":"status"}|}; "garbage"; {|{"verb":"retime"}|} ];
+  let run threshold =
+    write sink_path [];
+    let ic = open_in script_path in
+    let oc = open_out out_path in
+    let sink = open_out sink_path in
+    let stopped =
+      Fun.protect
+        ~finally:(fun () ->
+          close_in ic;
+          close_out oc;
+          close_out sink)
+        (fun () -> Server.serve_channels ~slowlog:(threshold, sink) s ic oc)
+    in
+    checkb "ended on EOF" false stopped;
+    read_lines sink_path
+  in
+  let logged = run 0.0 in
+  checki "one slowquery line per request" 3 (List.length logged);
+  List.iter
+    (fun line ->
+      match Obs.Json.parse line with
+      | Ok j ->
+          checkb "slowquery shape" true
+            (Obs.Json.member "type" j = Some (Obs.Json.Str "slowquery")
+            && Obs.Json.member "wall_ms" j <> None
+            && Obs.Json.member "ok" j <> None)
+      | Error e -> Alcotest.failf "slowlog line is not JSON: %s" e)
+    logged;
+  checki "unreachable threshold logs nothing" 0 (List.length (run 1e9));
+  (* The response channel carries only response lines. *)
+  List.iter
+    (fun line ->
+      match Obs.Json.parse line with
+      | Ok j -> checkb "response line" true (Obs.Json.member "ok" j <> None)
+      | Error e -> Alcotest.failf "response line is not JSON: %s" e)
+    (read_lines out_path)
+
 (* ---- request-order byte determinism ---- *)
 
 let script =
@@ -431,5 +654,16 @@ let () =
         [
           Alcotest.test_case "session survives injected fault" `Quick
             test_session_survives_fault;
+        ] );
+      (* Last: these advance the memoized sessions' request sequence
+         numbers via handle_line, which the determinism section's
+         cross-session id comparison must not see. *)
+      ( "observability",
+        [
+          Alcotest.test_case "metrics all:true" `Quick test_metrics_all;
+          Alcotest.test_case "profile verb" `Quick test_profile_verb;
+          Alcotest.test_case "profiling preserves bytes" `Quick
+            test_profiling_preserves_bytes;
+          Alcotest.test_case "slow-query log" `Quick test_slowlog;
         ] );
     ]
