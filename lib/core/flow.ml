@@ -15,6 +15,7 @@ type config = {
   domains : int;
   shard : int;
   cache : bool;
+  engine : Litho.Aerial.engine;
   retry : Fault.retry;
   checkpoint : Checkpoint.t option;
 }
@@ -39,6 +40,7 @@ let default_config () =
     domains = 1;
     shard = Shard.env_count ();
     cache = Litho.Tile_cache.env_enabled ();
+    engine = Litho.Aerial.env_engine ();
     retry = Fault.no_retry;
     checkpoint = None;
   }
@@ -95,12 +97,22 @@ let with_flow_pool config f =
 
 let model_cache : (string, Litho.Model.t) Hashtbl.t = Hashtbl.create 4
 
+(* Memoised per (technology, engine): calibration simulates the
+   reference pattern on the engine that will simulate production tiles
+   (see Litho.Aerial.calibrate), so each engine gets its own centred
+   threshold and the entries must not alias. *)
 let litho_model config =
-  let key = config.tech.Layout.Tech.name in
+  let key =
+    config.tech.Layout.Tech.name ^ "|"
+    ^ Litho.Aerial.engine_to_string config.engine
+  in
   match Hashtbl.find_opt model_cache key with
   | Some m -> m
   | None ->
-      let m = Litho.Aerial.calibrate (Litho.Model.create ()) config.tech in
+      let m =
+        Litho.Aerial.calibrate ~engine:config.engine (Litho.Model.create ())
+          config.tech
+      in
       Hashtbl.add model_cache key m;
       m
 
@@ -264,7 +276,10 @@ let opc_style_tag = function
    Domain count and the litho tile cache are deliberately excluded:
    results are bit-identical across both (see Exec.Pool and
    Litho.Tile_cache), so a checkpoint written at one domain count
-   resumes cleanly at another. *)
+   resumes cleanly at another.  The aerial engine is included: the
+   direct and FFT engines agree only within the tolerance contract
+   (DESIGN.md), so a checkpoint recorded under one must never resume a
+   run configured for the other. *)
 let opc_key config ~extra chip =
   let oc = config.opc_config in
   Digest.to_hex
@@ -285,6 +300,7 @@ let opc_key config ~extra chip =
             string_of_bool oc.Opc.Model_opc.incremental;
             string_of_int oc.Opc.Model_opc.sim_tile;
             string_of_int config.tile;
+            Litho.Aerial.engine_to_string config.engine;
             extra;
             chip_digest chip;
           ]))
@@ -342,6 +358,7 @@ let cds_key config ~extra ~mask_digest ~chip_digest =
             hex config.cd_noise_gate;
             hex config.cd_noise_slice;
             string_of_int config.seed;
+            Litho.Aerial.engine_to_string config.engine;
             extra;
           ]))
 
@@ -454,6 +471,7 @@ let run config netlist =
   @@ fun () ->
   Obs.Metrics.incr m_runs;
   Litho.Tile_cache.set_enabled config.cache;
+  Litho.Aerial.set_engine config.engine;
   let litho =
     supervised ~name:"flow.litho_model" config (fun () -> litho_model config)
   in
@@ -542,6 +560,7 @@ let run_selective r ~selected =
   @@ fun () ->
   let config = r.config in
   Litho.Tile_cache.set_enabled config.cache;
+  Litho.Aerial.set_engine config.engine;
   let litho = litho_model config in
   (* Selective OPC itself stays monolithic (its cost is bounded by the
      selected set); extraction reuses the sharded path. *)
@@ -611,6 +630,7 @@ let extract_at ?pool ?gates ?condition ?chip ?mask r =
     ~attrs:(fun () -> [ ("gates", string_of_int (List.length gates)) ])
   @@ fun () ->
   Litho.Tile_cache.set_enabled config.cache;
+  Litho.Aerial.set_engine config.engine;
   let litho = litho_model config in
   with_pool_opt ?pool config (fun pool ->
       Cdex.Extract.extract ?pool ~retry:config.retry litho condition
@@ -622,6 +642,7 @@ let reopc_chip ?pool r chip =
   let config = r.config in
   Obs.Span.with_ ~name:"flow.reopc_chip" @@ fun () ->
   Litho.Tile_cache.set_enabled config.cache;
+  Litho.Aerial.set_engine config.engine;
   let litho = litho_model config in
   let shards = shard_plan config litho chip in
   with_pool_opt ?pool config (fun pool ->

@@ -58,10 +58,15 @@ let blend ~dst ~src ~w =
     dst.data.(i) <- dst.data.(i) +. (w *. src.data.(i))
   done
 
-let paint_rect t (r : G.Rect.t) =
+let paint_rect ?(clamp = false) t (r : G.Rect.t) =
   (* Coverage weight of the rect against pixel column ix is the overlap
      of [lx, hx] with the pixel's x-span, in pixel units; likewise rows.
-     The contribution is the separable product. *)
+     The contribution is the separable product.  With [clamp], pixels
+     the rect touches are capped at 1.0 after accumulation; since
+     contributions are non-negative, clamping per touched span is
+     bit-identical to one final clamp over the whole raster
+     (min (min (a+b) 1 + c) 1 = min (a+b+c) 1), but only ever visits
+     painted pixels. *)
   let lx = float_of_int (r.G.Rect.lx - t.origin.G.Point.x) /. t.step in
   let hx = float_of_int (r.G.Rect.hx - t.origin.G.Point.x) /. t.step in
   let ly = float_of_int (r.G.Rect.ly - t.origin.G.Point.y) /. t.step in
@@ -80,9 +85,15 @@ let paint_rect t (r : G.Rect.t) =
       let plo = float_of_int iy and phi = float_of_int (iy + 1) in
       let wy = Float.max 0.0 (Float.min hy phi -. Float.max ly plo) in
       let row = iy * t.nx in
-      for ix = ix0 to ix1 do
-        t.data.(row + ix) <- t.data.(row + ix) +. (wx.(ix - ix0) *. wy)
-      done
+      if clamp then
+        for ix = ix0 to ix1 do
+          let v = t.data.(row + ix) +. (wx.(ix - ix0) *. wy) in
+          t.data.(row + ix) <- (if v > 1.0 then 1.0 else v)
+        done
+      else
+        for ix = ix0 to ix1 do
+          t.data.(row + ix) <- t.data.(row + ix) +. (wx.(ix - ix0) *. wy)
+        done
     done
   end
 

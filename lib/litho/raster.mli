@@ -51,8 +51,11 @@ val relocate : t -> origin:Geometry.Point.t -> t
 val blend : dst:t -> src:t -> w:float -> unit
 
 (** Add the coverage fraction of [rect] (in layout nm) to every pixel.
-    Parts outside the raster are clipped away. *)
-val paint_rect : t -> Geometry.Rect.t -> unit
+    Parts outside the raster are clipped away.  With [clamp], pixels
+    the rect touches are capped at 1.0 after accumulation; because
+    contributions are non-negative this is bit-identical to one final
+    whole-raster clamp, without ever scanning unpainted pixels. *)
+val paint_rect : ?clamp:bool -> t -> Geometry.Rect.t -> unit
 
 (** Paint a polygon via its exact rectangle decomposition. *)
 val paint_polygon : t -> Geometry.Polygon.t -> unit
