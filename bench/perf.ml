@@ -283,6 +283,60 @@ let fft_vs_direct_workload () =
             dense-line |dCD|=%.3fnm at silicon condition (budget 1.0nm)"
            n iterations cd_delta) }
 
+(* ---- SSTA canonical propagation vs the Monte-Carlo oracle -----------
+
+   One closed-form canonical-propagation pass over a 6-bit multiplier
+   vs the Monte-Carlo trial count it replaces at comparable accuracy
+   (~1000 trials puts the mean's standard error inside the documented
+   2% differential band — DESIGN.md, "SSTA tolerance contract").
+   Following the engine-pair convention above, [wall_s] is the slow
+   oracle (MC), [wall_cached_s] the SSTA pass and [speedup_cached]
+   the tracked ratio (expected well above 10x).  The record also
+   asserts the accuracy that justifies the substitution: SSTA's worst
+   arrival mean within 2% + 4 standard errors of the MC sample mean.
+   SSTA is closed-form, so a second pass must agree structurally —
+   that is this record's [identical] flag. *)
+let ssta_vs_mc_workload () =
+  let netlist = Circuit.Generator.multiplier ~bits:6 in
+  let env = Circuit.Delay_model.default_env tech in
+  let loads = Circuit.Loads.of_netlist env netlist in
+  let trials = if !Common.quick then 250 else 1000 in
+  let sigma_global = 3.0 and sigma_local = 1.5 in
+  let mc_config =
+    { Sta.Montecarlo.trials; sigma_global; sigma_local; mean_shift = 0.0;
+      clock_period = 1000.0 }
+  in
+  let ssta_config =
+    { Sta.Ssta.sigma_global; sigma_local; mean_shift = 0.0;
+      clock_period = 1000.0 }
+  in
+  Gc.compact ();
+  let mc, t_mc =
+    time (fun () ->
+        Sta.Montecarlo.run env netlist ~loads mc_config (Stats.Rng.create 42))
+  in
+  Gc.compact ();
+  let ssta, t_ssta =
+    time (fun () -> Sta.Ssta.analyze env netlist ~loads ssta_config)
+  in
+  let ssta_again = Sta.Ssta.analyze env netlist ~loads ssta_config in
+  let s = Stats.Summary.of_array mc.Sta.Montecarlo.critical_delay in
+  let se = s.Stats.Summary.std /. sqrt (float_of_int trials) in
+  let mean_delta =
+    Float.abs (Sta.Ssta.mean ssta.Sta.Ssta.worst -. s.Stats.Summary.mean)
+  in
+  assert (mean_delta <= (0.02 *. s.Stats.Summary.mean) +. (4.0 *. se));
+  { (base_record ~workload:"ssta_vs_mc" ~tasks:trials ~wall_s:t_mc) with
+    wall_cached_s = Some t_ssta;
+    speedup_cached = Some (t_mc /. t_ssta);
+    identical = Some (ssta = ssta_again);
+    note =
+      Some
+        (Printf.sprintf
+           "mult6: %d MC trials vs one canonical pass; worst-arrival mean \
+            delta %.2fps (MC se %.2fps)"
+           trials mean_delta se) }
+
 (* ---- content-cache workloads ----------------------------------------
 
    Both run the same work twice against a cleared [Litho.Tile_cache]:
@@ -682,6 +736,8 @@ let run_parallel_workloads () =
   let records = aerial_tiles_workload () in
   Format.printf "@.######## PERF: FFT aerial engine vs direct oracle ########@.";
   let records = records @ [ fft_vs_direct_workload () ] in
+  Format.printf "@.######## PERF: SSTA vs Monte-Carlo oracle ########@.";
+  let records = records @ [ ssta_vs_mc_workload () ] in
   Format.printf "@.######## PERF: litho tile-cache workloads ########@.";
   let records = records @ cache_workloads () in
   Format.printf "@.######## PERF: sharded full-chip flow sweep ########@.";

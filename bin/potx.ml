@@ -134,8 +134,9 @@ let with_session ~bench config f =
     ~finally:(fun () -> Timing_opc_serve.Session.close session)
     (fun () -> f session)
 
-let run_flow bench opc seed dose defocus spread report shard selective domains
-    no_cache engine faults retries checkpoint_dir resume trace metrics profile =
+let run_flow bench opc seed dose defocus spread report shard selective ssta
+    domains no_cache engine faults retries checkpoint_dir resume trace metrics
+    profile =
   with_obs ~profile ~trace ~metrics @@ fun () ->
   Fault.set_plan (resolve_faults faults);
   let config =
@@ -147,7 +148,7 @@ let run_flow bench opc seed dose defocus spread report shard selective domains
     config.Timing_opc.Flow.domains;
   with_session ~bench config @@ fun session ->
   Timing_opc_serve.Session.print_report Format.std_formatter session ~spread
-    ~report ~selective
+    ~report ~selective ~ssta
 
 let serve_flow bench opc seed dose defocus shard domains no_cache engine faults
     retries socket slowlog_ms slowlog_file trace metrics profile =
@@ -218,6 +219,21 @@ let selective_arg =
            sites (slack within 5 ps of the worst path) with rule bias \
            elsewhere — the paper's DFM feedback loop — and print the \
            selective timing view.")
+
+let ssta_arg =
+  Arg.(
+    value & flag
+    & info [ "ssta" ]
+        ~doc:
+          "Append the statistical-timing section: re-measure the chip's CDs \
+           over a process window, fit the per-gate channel-length \
+           distribution (global + independent components), propagate \
+           first-order canonical delay forms through the timing graph \
+           (analytic add, Clark's-approximation max) and print per-endpoint \
+           slack distributions, criticality probabilities and the \
+           Kendall-tau reordering against the drawn and slow-corner \
+           rankings.  The section is purely additive: without this flag the \
+           output is byte-identical to before it existed.")
 
 let domains_arg =
   Arg.(
@@ -323,9 +339,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_flow $ bench_arg $ opc_arg $ seed_arg $ dose_arg $ defocus_arg
-      $ spread_arg $ report_arg $ shard_arg $ selective_arg $ domains_arg
-      $ no_cache_arg $ engine_arg $ faults_arg $ retries_arg $ checkpoint_arg
-      $ resume_arg $ trace_arg $ metrics_arg $ profile_arg)
+      $ spread_arg $ report_arg $ shard_arg $ selective_arg $ ssta_arg
+      $ domains_arg $ no_cache_arg $ engine_arg $ faults_arg $ retries_arg
+      $ checkpoint_arg $ resume_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 let socket_arg =
   Arg.(
@@ -365,11 +381,12 @@ let serve_cmd =
          mask, aerial tile cache, extracted CDs and annotated timing graph \
          resident.  Requests are JSONL, one object per line on stdin (or \
          the socket); each gets exactly one response line, in request \
-         order.  Verbs: status, retime, whatif, cds, corner, metrics (with \
-         optional $(i,\"all\":true) for the full registry plus latency \
-         quantiles), profile (wraps another request and returns its \
-         Chrome-trace span tree), shutdown — see the protocol reference in \
-         README.md.";
+         order.  Verbs: status, retime, whatif, cds, corner, ssta \
+         (process-window fit + canonical-form statistical timing, computed \
+         once and served warm), metrics (with optional $(i,\"all\":true) for \
+         the full registry plus latency quantiles), profile (wraps another \
+         request and returns its Chrome-trace span tree), shutdown — see \
+         the protocol reference in README.md.";
       `P
         "Responses are byte-deterministic: the same request script yields \
          identical bytes for any $(b,--domains), $(b,--shard) or tile-cache \

@@ -199,6 +199,25 @@ case_engine() {
     "$POTX" cdcmp "$work/cds_direct.csv" "$work/cds_fft.csv" --budget 2.5
 }
 
+# Statistical timing is purely additive: a --ssta run prints the
+# baseline report byte-for-byte and then the SSTA section below it,
+# and the default (non---ssta) stdout is untouched by the feature.
+# The section itself is closed-form, so it must also be byte-stable
+# across worker-domain counts.
+case_ssta() {
+  "$POTX" run --bench c17 --ssta > "$work/ssta.out" 2> /dev/null &&
+    "$POTX" run --bench c17 > "$work/ssta_base.out" 2> /dev/null &&
+    cmp "$work/base.out" "$work/ssta_base.out" &&
+    n=$(wc -l < "$work/base.out") &&
+    head -n "$n" "$work/ssta.out" | cmp "$work/base.out" - &&
+    grep -q '^-- statistical timing (SSTA) --' "$work/ssta.out" &&
+    grep -q '^ssta    :' "$work/ssta.out" &&
+    "$POTX" run --bench c17 --ssta --domains 4 \
+      > "$work/ssta_d4.out" 2> /dev/null &&
+    tail -n +2 "$work/ssta.out" > "$work/ssta.body" &&
+    tail -n +2 "$work/ssta_d4.out" | cmp "$work/ssta.body" -
+}
+
 # The perf-regression gate itself: a self-diff of the committed
 # baseline passes gated, and a synthetic 2x slowdown injected with
 # --scale must trip it.
@@ -232,6 +251,7 @@ run_case cache case_cache
 run_case fault-retry case_fault_retry
 run_case checkpoint-resume case_checkpoint_resume
 run_case shard-identity case_shard_identity
+run_case ssta case_ssta
 run_case engine case_engine
 run_case profile-identity case_profile_identity
 run_case shard-resume case_shard_resume

@@ -648,6 +648,103 @@ let reopc_chip ?pool r chip =
   with_pool_opt ?pool config (fun pool ->
       opc_of_config ?pool config litho chip ~shards)
 
+(* --- statistical timing (SSTA) ------------------------------------ *)
+
+type window = { dose_spread : float; defocus_spread : float; window_steps : int }
+
+let default_window = { dose_spread = 0.02; defocus_spread = 50.0; window_steps = 3 }
+
+type ssta_view = {
+  window : window;
+  fit : Sta.Ssta.fit;
+  variation : Sta.Ssta.config;
+  ssta : Sta.Ssta.t;
+}
+
+let m_ssta_conditions = Obs.Metrics.counter "flow.ssta.conditions"
+
+let m_ssta_endpoints = Obs.Metrics.counter "flow.ssta.endpoints"
+
+let window_conditions config w =
+  let c = config.condition in
+  Litho.Condition.grid
+    ~dose_range:
+      ( c.Litho.Condition.dose -. w.dose_spread,
+        c.Litho.Condition.dose +. w.dose_spread )
+    ~dose_steps:w.window_steps
+    ~defocus_range:
+      ( Float.max 0.0 (c.Litho.Condition.defocus -. w.defocus_spread),
+        c.Litho.Condition.defocus +. w.defocus_spread )
+    ~defocus_steps:w.window_steps
+
+let mean_length (l : Circuit.Delay_model.lengths) =
+  0.5 *. (l.Circuit.Delay_model.l_n +. l.Circuit.Delay_model.l_p)
+
+(* Fit per-gate CD distributions from process-window extraction and
+   propagate them as canonical delay forms.  Per window condition the
+   chip is re-measured against the warm mask (the tile cache absorbs
+   dose-only repeats) and each annotated instance contributes its mean
+   channel-length delta versus the base annotation; Ssta.fit splits
+   the matrix into the across-chip (global) and per-gate residual
+   (independent) components.  The silicon LER/local-dose noise
+   (config.cd_noise_gate) is frozen into the base annotation — it is
+   identical at every window condition, so it cancels in the deltas —
+   and re-enters as an extra independent term for fresh silicon. *)
+let ssta ?pool ?(window = default_window) r =
+  Obs.Span.with_ ~name:"flow.ssta"
+    ~attrs:(fun () ->
+      [
+        ("steps", string_of_int window.window_steps);
+        ("gates", string_of_int (Circuit.Netlist.num_gates r.netlist));
+      ])
+  @@ fun () ->
+  staged ~name:"flow.ssta"
+  @@ fun () ->
+  let config = r.config in
+  let base = lengths_of r in
+  let gates =
+    Array.to_list r.netlist.Circuit.Netlist.gates
+    |> List.filter_map (fun (g : Circuit.Netlist.gate) ->
+           Option.map
+             (fun l -> (g.Circuit.Netlist.gname, mean_length l))
+             (base g.Circuit.Netlist.gname))
+  in
+  let conditions = window_conditions config window in
+  Obs.Metrics.add m_ssta_conditions (List.length conditions);
+  let dl =
+    with_pool_opt ?pool config (fun pool ->
+        List.map
+          (fun condition ->
+            let cds = extract_at ?pool ~condition r in
+            let lengths =
+              lengths_of_annotation (annotate config cds) r.netlist
+            in
+            Array.of_list
+              (List.map
+                 (fun (name, b) ->
+                   match lengths name with
+                   | Some l -> mean_length l -. b
+                   | None -> 0.0)
+                 gates))
+          conditions)
+    |> Array.of_list
+  in
+  let fit = Sta.Ssta.fit dl in
+  let sconfig =
+    {
+      Sta.Ssta.sigma_global = fit.Sta.Ssta.global_sigma;
+      sigma_local = Float.hypot fit.Sta.Ssta.local_sigma config.cd_noise_gate;
+      mean_shift = fit.Sta.Ssta.shift;
+      clock_period = r.clock_period;
+    }
+  in
+  let ssta =
+    Sta.Ssta.analyze config.env r.netlist ~loads:r.loads ~lengths_of:base
+      sconfig
+  in
+  Obs.Metrics.add m_ssta_endpoints (List.length ssta.Sta.Ssta.endpoints);
+  { window; fit; variation = sconfig; ssta }
+
 let leakage r ~annotated =
   Array.fold_left
     (fun acc (g : Circuit.Netlist.gate) ->

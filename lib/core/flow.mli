@@ -195,3 +195,39 @@ val extract_at :
     checkpointing. *)
 val reopc_chip :
   ?pool:Exec.Pool.t -> run -> Layout.Chip.t -> Opc.Mask.t * Opc.Model_opc.stats
+
+(** {1 Statistical timing (SSTA)} *)
+
+(** Process-window sampling grid around the run's silicon condition:
+    [window_steps] x [window_steps] conditions spanning
+    +-[dose_spread] (relative dose) and +-[defocus_spread] nm
+    (clamped at zero defocus). *)
+type window = {
+  dose_spread : float;
+  defocus_spread : float;
+  window_steps : int;
+}
+
+(** 3x3 grid over +-0.02 dose and +-50 nm defocus. *)
+val default_window : window
+
+type ssta_view = {
+  window : window;
+  fit : Sta.Ssta.fit;  (** per-gate CD distribution decomposition *)
+  variation : Sta.Ssta.config;
+      (** the effective variation model: the fit's components with the
+          config's frozen silicon-noise floor folded into the
+          independent sigma *)
+  ssta : Sta.Ssta.t;  (** canonical-form timing over the base annotation *)
+}
+
+(** [ssta r] re-measures the chip's CDs over the process window, fits
+    the per-gate channel-length distribution (global + independent
+    components, plus the config's frozen silicon-noise floor as an
+    extra independent term) and propagates canonical delay forms over
+    the run's own annotation — the statistical counterpart of
+    {!corner_views}.  Deterministic: byte-identical output for any
+    pool/domain, shard or cache state, warm or cold.  Under the
+    [flow.ssta] span; counts [flow.ssta.conditions] and
+    [flow.ssta.endpoints]. *)
+val ssta : ?pool:Exec.Pool.t -> ?window:window -> run -> ssta_view

@@ -8,6 +8,7 @@ type request =
   | Whatif of { gate : string; change : whatif_change }
   | Cds of { region : Geometry.Rect.t option }
   | Corner of { dose : float; defocus : float; spread : float option }
+  | Ssta of { top : int option }
   | Metrics of { all : bool }
   | Profile of { target : request }
   | Shutdown
@@ -18,6 +19,7 @@ let verb = function
   | Whatif _ -> "whatif"
   | Cds _ -> "cds"
   | Corner _ -> "corner"
+  | Ssta _ -> "ssta"
   | Metrics _ -> "metrics"
   | Profile _ -> "profile"
   | Shutdown -> "shutdown"
@@ -30,6 +32,13 @@ type path_report = {
 }
 
 type cd_record = { gate : string; cd : float; delta : float; printed : bool }
+
+type ssta_endpoint = {
+  net : Circuit.Netlist.net;
+  slack_mean : float;
+  slack_sigma : float;
+  criticality : float;
+}
 
 type reply =
   | Status_r of {
@@ -58,6 +67,17 @@ type reply =
       wns : float;
       tns : float;
       corners : (string * float) list;
+    }
+  | Ssta_r of {
+      clock_period : float;
+      wns_mean : float;
+      wns_sigma : float;
+      fail_probability : float;
+      shift : float;
+      global_sigma : float;
+      local_sigma : float;
+      conditions : int;
+      endpoints : ssta_endpoint list;
     }
   | Metrics_r of {
       counters : (string * int) list;
@@ -113,6 +133,9 @@ let rec request_to_json ?id r =
         [ ("verb", J.Str "corner"); ("dose", J.Num dose);
           ("defocus", J.Num defocus) ]
         @ match spread with None -> [] | Some s -> [ ("spread", J.Num s) ])
+    | Ssta { top } ->
+        ("verb", J.Str "ssta")
+        :: (match top with None -> [] | Some n -> [ ("top", int_field n) ])
     | Metrics { all } ->
         ("verb", J.Str "metrics") :: (if all then [ ("all", J.Bool true) ] else [])
     | Profile { target } ->
@@ -201,6 +224,9 @@ let rec parse_request_obj ~nested j =
         let* defocus = require "defocus" defocus in
         let* spread = get_float "spread" j in
         Ok (Corner { dose; defocus; spread })
+    | "ssta" ->
+        let* top = get_int "top" j in
+        Ok (Ssta { top })
     | "metrics" ->
         let* all = get_bool "all" j in
         Ok (Metrics { all = Option.value all ~default:false })
@@ -280,6 +306,25 @@ let reply_fields = function
                (fun (name, wns) ->
                  J.Obj [ ("name", J.Str name); ("wns_ps", J.Num wns) ])
                c.corners) ) ]
+  | Ssta_r s ->
+      [ ("clock_ps", J.Num s.clock_period);
+        ("wns_mean_ps", J.Num s.wns_mean);
+        ("wns_sigma_ps", J.Num s.wns_sigma);
+        ("fail_probability", J.Num s.fail_probability);
+        ("shift_nm", J.Num s.shift);
+        ("global_sigma_nm", J.Num s.global_sigma);
+        ("local_sigma_nm", J.Num s.local_sigma);
+        ("conditions", int_field s.conditions);
+        ( "endpoints",
+          J.Arr
+            (List.map
+               (fun e ->
+                 J.Obj
+                   [ ("endpoint", int_field e.net);
+                     ("slack_mean_ps", J.Num e.slack_mean);
+                     ("slack_sigma_ps", J.Num e.slack_sigma);
+                     ("criticality", J.Num e.criticality) ])
+               s.endpoints) ) ]
   | Metrics_r { counters; registry } ->
       ( "counters",
         J.Arr
@@ -425,6 +470,33 @@ let parse_reply verb j =
         | _ -> Error "missing field \"corners\""
       in
       Ok (Corner_r { dose; defocus; wns; tns; corners })
+  | "ssta" ->
+      let* clock_period = req_float "clock_ps" j in
+      let* wns_mean = req_float "wns_mean_ps" j in
+      let* wns_sigma = req_float "wns_sigma_ps" j in
+      let* fail_probability = req_float "fail_probability" j in
+      let* shift = req_float "shift_nm" j in
+      let* global_sigma = req_float "global_sigma_nm" j in
+      let* local_sigma = req_float "local_sigma_nm" j in
+      let* conditions = req_int "conditions" j in
+      let* endpoints =
+        match J.member "endpoints" j with
+        | Some (J.Arr items) ->
+            List.fold_right
+              (fun item acc ->
+                let* acc = acc in
+                let* net = req_int "endpoint" item in
+                let* slack_mean = req_float "slack_mean_ps" item in
+                let* slack_sigma = req_float "slack_sigma_ps" item in
+                let* criticality = req_float "criticality" item in
+                Ok ({ net; slack_mean; slack_sigma; criticality } :: acc))
+              items (Ok [])
+        | _ -> Error "missing field \"endpoints\""
+      in
+      Ok
+        (Ssta_r
+           { clock_period; wns_mean; wns_sigma; fail_probability; shift;
+             global_sigma; local_sigma; conditions; endpoints })
   | "metrics" ->
       let* counters =
         match J.member "counters" j with

@@ -22,6 +22,10 @@
     {"verb":"corner","dose":1.03,"defocus":90}     re-extract + re-time at a
                                          process condition; add "spread" for
                                          the classic CD-corner views too
+    {"verb":"ssta"}                      statistical timing: process-window
+                                         CD fit + canonical-form propagation
+                                         (computed once, then served warm);
+                                         add "top":N to cap the endpoint list
     {"verb":"metrics"}                   session counters (serve.* only)
     {"verb":"metrics","all":true}        ... plus the full global registry
                                          and p50/p95/p99 latency quantiles
@@ -52,6 +56,8 @@ type request =
   | Whatif of { gate : string; change : whatif_change }
   | Cds of { region : Geometry.Rect.t option }
   | Corner of { dose : float; defocus : float; spread : float option }
+  | Ssta of { top : int option }
+      (** statistical timing view; [top] caps the endpoints reported *)
   | Metrics of { all : bool }
   | Profile of { target : request }
       (** profile [target] and reply with its span tree; [target] may
@@ -75,6 +81,14 @@ type cd_record = {
   cd : float;  (** mean printed CD, nm (drawn L when nothing printed) *)
   delta : float;  (** printed minus drawn, nm (0 when nothing printed) *)
   printed : bool;
+}
+
+(** One endpoint's slack distribution in an [ssta] reply. *)
+type ssta_endpoint = {
+  net : Circuit.Netlist.net;
+  slack_mean : float;  (** ps *)
+  slack_sigma : float;  (** ps *)
+  criticality : float;  (** P(this endpoint carries the worst arrival) *)
 }
 
 type reply =
@@ -104,6 +118,17 @@ type reply =
       wns : float;
       tns : float;
       corners : (string * float) list;  (** classic corner name, wns *)
+    }
+  | Ssta_r of {
+      clock_period : float;  (** ps *)
+      wns_mean : float;  (** ps *)
+      wns_sigma : float;  (** ps *)
+      fail_probability : float;
+      shift : float;  (** nm, fitted mean CD shift over the window *)
+      global_sigma : float;  (** nm *)
+      local_sigma : float;  (** nm, incl. the silicon-noise floor *)
+      conditions : int;  (** process-window samples fitted *)
+      endpoints : ssta_endpoint list;  (** criticality-sorted *)
     }
   | Metrics_r of {
       counters : (string * int) list;  (** session counters, sorted *)

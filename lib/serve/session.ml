@@ -6,6 +6,10 @@ type t = {
   pool : Exec.Pool.t option;  (* session-owned, shared across requests *)
   lengths : string -> Circuit.Delay_model.lengths option;  (* memoised *)
   counters : (string, int ref) Hashtbl.t;
+  mutable ssta_view : Flow.ssta_view option;
+      (* computed on first ssta query, then served warm; the view is a
+         deterministic pure function of the run, so memoisation never
+         changes response bytes *)
   mutable next_seq : int;
   mutable closed : bool;
 }
@@ -23,6 +27,7 @@ let create ?(bench = "?") config netlist =
     pool;
     lengths = Flow.lengths_of run;
     counters = Hashtbl.create 16;
+    ssta_view = None;
     next_seq = 0;
     closed = false;
   }
@@ -282,6 +287,52 @@ let corner t ~dose ~defocus ~spread =
          corners;
        })
 
+let ssta_view t =
+  match t.ssta_view with
+  | Some v -> v
+  | None ->
+      let v = Flow.ssta ?pool:t.pool t.run in
+      t.ssta_view <- Some v;
+      v
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let ssta t top =
+  let v = ssta_view t in
+  let s = v.Flow.ssta in
+  let endpoints =
+    List.map
+      (fun (e : Sta.Ssta.endpoint) ->
+        {
+          Protocol.net = e.Sta.Ssta.net;
+          slack_mean = e.Sta.Ssta.slack_mean;
+          slack_sigma = e.Sta.Ssta.slack_sigma;
+          criticality = e.Sta.Ssta.criticality;
+        })
+      s.Sta.Ssta.endpoints
+  in
+  let endpoints =
+    match top with
+    | None -> endpoints
+    | Some n when n < 0 -> endpoints
+    | Some n -> take n endpoints
+  in
+  Ok
+    (Protocol.Ssta_r
+       {
+         clock_period = s.Sta.Ssta.clock_period;
+         wns_mean = Sta.Ssta.wns_mean s;
+         wns_sigma = Sta.Ssta.wns_sigma s;
+         fail_probability = Sta.Ssta.fail_probability s;
+         shift = v.Flow.variation.Sta.Ssta.mean_shift;
+         global_sigma = v.Flow.variation.Sta.Ssta.sigma_global;
+         local_sigma = v.Flow.variation.Sta.Ssta.sigma_local;
+         conditions = v.Flow.fit.Sta.Ssta.conditions;
+         endpoints;
+       })
+
 let rec handle t (request : Protocol.request) =
   match request with
   | Protocol.Status -> status t
@@ -292,6 +343,7 @@ let rec handle t (request : Protocol.request) =
       move t gate dx dy
   | Protocol.Cds { region } -> cds t region
   | Protocol.Corner { dose; defocus; spread } -> corner t ~dose ~defocus ~spread
+  | Protocol.Ssta { top } -> ssta t top
   | Protocol.Metrics { all } ->
       Ok
         (Protocol.Metrics_r
@@ -386,7 +438,70 @@ let handle_line t line =
 
 (* ---- the classic one-shot report -------------------------------- *)
 
-let print_report ppf t ~spread ~report ~selective =
+(* Criticality-reordering summary: Kendall tau between the SSTA
+   criticality ranking and a deterministic slack ranking (more
+   negative slack = more critical, hence the sign flip); the distance
+   form (1 - tau) / 2 is 0 for identical rankings, 1 for reversed. *)
+let reorder_tau endpoints ~slack_of =
+  let crit = Array.of_list (List.map (fun (_, c) -> c) endpoints) in
+  let other =
+    Array.of_list (List.map (fun (net, _) -> -.slack_of net) endpoints)
+  in
+  Stats.Correlation.kendall crit other
+
+let slack_of_view (view : Sta.Timing.t) net =
+  match
+    List.find_opt
+      (fun (p : Sta.Timing.path) -> p.Sta.Timing.endpoint = net)
+      view.Sta.Timing.paths
+  with
+  | Some p -> p.Sta.Timing.slack
+  | None -> 0.0
+
+let print_ssta ppf t ~spread =
+  let v = ssta_view t in
+  let s = v.Flow.ssta in
+  let var = v.Flow.variation in
+  Format.fprintf ppf "@.-- statistical timing (SSTA) --@.";
+  Format.fprintf ppf "%a@." Sta.Ssta.pp_fit v.Flow.fit;
+  Format.fprintf ppf
+    "variation: dL=%+.2fnm sigma_g=%.2fnm sigma_l=%.2fnm (window fit + %.1fnm \
+     silicon noise)@."
+    var.Sta.Ssta.mean_shift var.Sta.Ssta.sigma_global var.Sta.Ssta.sigma_local
+    t.run.Flow.config.Flow.cd_noise_gate;
+  Format.fprintf ppf "ssta    : %a@." Sta.Ssta.pp_summary s;
+  List.iter
+    (fun e -> Format.fprintf ppf "  %a@." Sta.Ssta.pp_endpoint e)
+    s.Sta.Ssta.endpoints;
+  let pairs =
+    List.map
+      (fun (e : Sta.Ssta.endpoint) -> (e.Sta.Ssta.net, e.Sta.Ssta.criticality))
+      s.Sta.Ssta.endpoints
+  in
+  if List.length pairs >= 2 then begin
+    let slow =
+      List.find_map
+        (fun ((c : Sta.Corners.corner), view) ->
+          if String.equal c.Sta.Corners.name "slow" then Some view else None)
+        (Flow.corner_views t.run ~spread)
+    in
+    let tau_drawn =
+      reorder_tau pairs ~slack_of:(slack_of_view t.run.Flow.drawn_sta)
+    in
+    let dist tau = (1.0 -. tau) /. 2.0 in
+    (match slow with
+    | Some slow_view ->
+        let tau_slow = reorder_tau pairs ~slack_of:(slack_of_view slow_view) in
+        Format.fprintf ppf
+          "reorder : crit vs drawn tau=%+.3f (dist %.3f), vs slow corner \
+           tau=%+.3f (dist %.3f)@."
+          tau_drawn (dist tau_drawn) tau_slow (dist tau_slow)
+    | None ->
+        Format.fprintf ppf "reorder : crit vs drawn tau=%+.3f (dist %.3f)@."
+          tau_drawn (dist tau_drawn))
+  end
+
+let print_report ppf t ~spread ~report ~selective ~ssta =
   let open Timing_opc in
   let r = t.run in
   Format.fprintf ppf "%a@." Layout.Chip.pp r.Flow.chip;
@@ -429,4 +544,5 @@ let print_report ppf t ~spread ~report ~selective =
       rs.Flow.post_opc_sta;
     Format.fprintf ppf "selective delta   : %a@." Compare.pp_slack_delta
       (Compare.slack_delta r.Flow.post_opc_sta rs.Flow.post_opc_sta)
-  end
+  end;
+  if ssta then print_ssta ppf t ~spread

@@ -68,11 +68,20 @@ val close : t -> unit
     OPC stats, CD summary, drawn/post-OPC/corner timing views,
     leakage, optional path report and selective-OPC loop.  [potx run]
     is exactly [create] + [print_report] + [close], so the one-shot
-    command and the resident service share one flow core. *)
+    command and the resident service share one flow core.
+
+    [ssta] appends the statistical-timing section ({!Timing_opc.Flow.ssta}):
+    the process-window fit, the canonical-form WNS distribution,
+    per-endpoint slack distributions with criticality probabilities,
+    and the Kendall-tau reordering of the criticality ranking against
+    the drawn and slow-corner slack rankings.  The section is purely
+    additive — with [ssta:false] the output is byte-identical to
+    before the flag existed. *)
 val print_report :
   Format.formatter ->
   t ->
   spread:float ->
   report:int ->
   selective:bool ->
+  ssta:bool ->
   unit

@@ -6,7 +6,12 @@ type config = {
   clock_period : float;
 }
 
-type summary = { wns : float array; critical_delay : float array }
+type summary = {
+  wns : float array;
+  critical_delay : float array;
+  endpoints : Circuit.Netlist.net array;
+  arrivals : float array array;
+}
 
 let m_trials = Obs.Metrics.counter "sta.mc_trials"
 
@@ -27,6 +32,12 @@ let run ?pool env (netlist : Circuit.Netlist.t) ~loads config rng =
   done;
   let wns = Array.make config.trials 0.0 in
   let critical = Array.make config.trials 0.0 in
+  let endpoints = Array.of_list netlist.Circuit.Netlist.primary_outputs in
+  (* arrivals.(e).(trial): each trial writes its own column, so the
+     matrix fills race-free under the pool. *)
+  let arrivals =
+    Array.map (fun _ -> Array.make config.trials 0.0) endpoints
+  in
   let run_trial trial =
     let rng = trial_rngs.(trial) in
     let global = Stats.Rng.normal rng ~mean:config.mean_shift ~std:config.sigma_global in
@@ -46,7 +57,14 @@ let run ?pool env (netlist : Circuit.Netlist.t) ~loads config rng =
     in
     let t = Timing.analyze netlist ~loads ~delay ~clock_period:config.clock_period () in
     wns.(trial) <- t.Timing.wns;
-    critical.(trial) <- Timing.critical_delay t
+    critical.(trial) <- Timing.critical_delay t;
+    let by_endpoint = Timing.path_delay_by_endpoint t in
+    Array.iteri
+      (fun e net ->
+        match List.assoc_opt net by_endpoint with
+        | Some arrival -> arrivals.(e).(trial) <- arrival
+        | None -> ())
+      endpoints
   in
   (match pool with
   | None ->
@@ -57,7 +75,7 @@ let run ?pool env (netlist : Circuit.Netlist.t) ~loads config rng =
       ignore
         (Exec.Pool.init ~label:"sta.montecarlo" p config.trials (fun trial ->
              run_trial trial)));
-  { wns; critical_delay = critical }
+  { wns; critical_delay = critical; endpoints; arrivals }
 
 let fail_probability s =
   let fails = Array.fold_left (fun acc w -> if w < 0.0 then acc + 1 else acc) 0 s.wns in

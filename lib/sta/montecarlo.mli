@@ -13,6 +13,11 @@ type config = {
 type summary = {
   wns : float array;  (** per-trial worst slack, ps *)
   critical_delay : float array;  (** per-trial critical arrival, ps *)
+  endpoints : Circuit.Netlist.net array;  (** primary outputs, netlist order *)
+  arrivals : float array array;
+      (** [arrivals.(e).(trial)]: per-trial arrival at [endpoints.(e)],
+          ps — the per-endpoint sample set the SSTA differential test
+          diffs canonical moments against *)
 }
 
 (** [run env netlist ~loads config rng] draws one generator per trial

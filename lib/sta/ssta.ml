@@ -1,0 +1,246 @@
+module N = Circuit.Netlist
+
+type config = {
+  sigma_global : float;
+  sigma_local : float;
+  mean_shift : float;
+  clock_period : float;
+}
+
+type canonical = { mean : float; g : float; ind : float }
+
+let mean c = c.mean
+
+let sigma c = Float.hypot c.g c.ind
+
+let add a b =
+  { mean = a.mean +. b.mean; g = a.g +. b.g; ind = Float.hypot a.ind b.ind }
+
+(* Correlation induced by the shared global variable only: the
+   independent aggregates are uncorrelated by construction (path
+   reconvergence through common local terms is dropped — the canonical
+   approximation). *)
+let rho a b =
+  let sa = sigma a and sb = sigma b in
+  if sa <= 0.0 || sb <= 0.0 then 0.0
+  else Float.min 1.0 (Float.max (-1.0) (a.g *. b.g /. (sa *. sb)))
+
+let max_moments a b =
+  Stats.Gaussian.max_moments ~mean1:a.mean ~sigma1:(sigma a) ~mean2:b.mean
+    ~sigma2:(sigma b) ~rho:(rho a b)
+
+let tightness a b = (max_moments a b).Stats.Gaussian.tightness
+
+(* Clark max, refitted to canonical form: the mean and total variance
+   are Clark's exact first two moments; the global coefficient is the
+   tightness-weighted blend (the standard linear refit) and the
+   independent part absorbs the variance remainder. *)
+let cmax a b =
+  let mm = max_moments a b in
+  let t = mm.Stats.Gaussian.tightness in
+  let g = (a.g *. t) +. (b.g *. (1.0 -. t)) in
+  let ind = sqrt (Float.max 0.0 (mm.Stats.Gaussian.max_var -. (g *. g))) in
+  { mean = mm.Stats.Gaussian.max_mean; g; ind }
+
+type endpoint = {
+  net : N.net;
+  arrival : canonical;
+  slack_mean : float;
+  slack_sigma : float;
+  criticality : float;
+}
+
+type t = { endpoints : endpoint list; worst : canonical; clock_period : float }
+
+let wns_mean t = t.clock_period -. t.worst.mean
+
+let wns_sigma t = sigma t.worst
+
+let fail_probability t =
+  let s = sigma t.worst in
+  if s <= 0.0 then if t.worst.mean > t.clock_period then 1.0 else 0.0
+  else 1.0 -. Stats.Gaussian.cdf ((t.clock_period -. t.worst.mean) /. s)
+
+let m_analyses = Obs.Metrics.counter "sta.ssta_analyses"
+
+let m_endpoints = Obs.Metrics.counter "sta.ssta_endpoints"
+
+(* Worst-arrival distribution and per-endpoint criticalities in one
+   left fold: t_k = P(A_k >= max(A_1..A_{k-1})), so
+   crit_k = t_k * prod_{j>k} (1 - t_j) — a telescoping product whose
+   sum over the cut is exactly 1 (up to rounding). *)
+let criticalities arrivals =
+  match arrivals with
+  | [] -> ([], { mean = 0.0; g = 0.0; ind = 0.0 })
+  | first :: rest ->
+      let worst = ref first in
+      let tights =
+        List.map
+          (fun a ->
+            let t = tightness a !worst in
+            worst := cmax a !worst;
+            t)
+          rest
+      in
+      let crits_rev, head =
+        List.fold_left
+          (fun (acc, survive) t -> ((t *. survive) :: acc, survive *. (1.0 -. t)))
+          ([], 1.0) (List.rev tights)
+      in
+      (head :: crits_rev, !worst)
+
+let analyze env (netlist : N.t) ~loads ?lengths_of ?(input_slew = 20.0)
+    ?(sensitivity_step = 0.5) config =
+  Obs.Span.with_ ~name:"sta.ssta"
+    ~attrs:(fun () -> [ ("nets", string_of_int netlist.N.num_nets) ])
+  @@ fun () ->
+  Obs.Metrics.incr m_analyses;
+  let drawn = Circuit.Delay_model.drawn_lengths env.Circuit.Delay_model.tech in
+  let base_of =
+    match lengths_of with
+    | None -> fun _ -> drawn
+    | Some f -> fun name -> Option.value (f name) ~default:drawn
+  in
+  (* Mirror Montecarlo's variation model exactly: dl applied to both
+     lengths on top of the instance base, clamped at 20 nm. *)
+  let at (base : Circuit.Delay_model.lengths) dl =
+    {
+      Circuit.Delay_model.l_n = Float.max 20.0 (base.Circuit.Delay_model.l_n +. dl);
+      l_p = Float.max 20.0 (base.Circuit.Delay_model.l_p +. dl);
+    }
+  in
+  let n = netlist.N.num_nets in
+  let none = { mean = neg_infinity; g = 0.0; ind = 0.0 } in
+  let arrival = Array.make n none in
+  let slew = Array.make n input_slew in
+  List.iter
+    (fun pi ->
+      arrival.(pi) <- { mean = 0.0; g = 0.0; ind = 0.0 };
+      slew.(pi) <- input_slew)
+    netlist.N.primary_inputs;
+  Array.iter
+    (fun (g : N.gate) ->
+      let cell = Circuit.Cell_lib.find g.N.cell in
+      let base = base_of g.N.gname in
+      let c_load = loads g.N.output in
+      let h = sensitivity_step in
+      let best = ref none and best_slew = ref input_slew in
+      List.iter
+        (fun input ->
+          if arrival.(input).mean > neg_infinity then begin
+            let slew_in = slew.(input) in
+            let eval dl =
+              Circuit.Delay_model.gate_delay env cell ~lengths:(at base dl)
+                ~slew_in ~c_load
+            in
+            let r0 = eval config.mean_shift in
+            let rp = eval (config.mean_shift +. h) in
+            let rm = eval (config.mean_shift -. h) in
+            let s =
+              (rp.Circuit.Delay_model.delay -. rm.Circuit.Delay_model.delay)
+              /. (2.0 *. h)
+            in
+            let d =
+              {
+                mean = r0.Circuit.Delay_model.delay;
+                g = s *. config.sigma_global;
+                ind = s *. config.sigma_local;
+              }
+            in
+            let cand = add arrival.(input) d in
+            (* The output slew follows the mean-worst arc — the arc
+               Timing.analyze would pick at the mean point — keeping
+               mean propagation aligned with the oracle. *)
+            if cand.mean > !best.mean then best_slew := r0.Circuit.Delay_model.slew_out;
+            best := (if !best.mean = neg_infinity then cand else cmax !best cand)
+          end)
+        g.N.inputs;
+      if !best.mean = neg_infinity then
+        invalid_arg
+          (Printf.sprintf "Ssta.analyze: gate %s has no timed input" g.N.gname);
+      arrival.(g.N.output) <- !best;
+      slew.(g.N.output) <- !best_slew)
+    netlist.N.gates;
+  let pos = netlist.N.primary_outputs in
+  let crits, worst = criticalities (List.map (fun po -> arrival.(po)) pos) in
+  let endpoints =
+    List.map2
+      (fun po crit ->
+        let a = arrival.(po) in
+        {
+          net = po;
+          arrival = a;
+          slack_mean = config.clock_period -. a.mean;
+          slack_sigma = sigma a;
+          criticality = crit;
+        })
+      pos crits
+    |> List.sort (fun e1 e2 ->
+           match Float.compare e2.criticality e1.criticality with
+           | 0 -> (
+               match Float.compare e1.slack_mean e2.slack_mean with
+               | 0 -> compare e1.net e2.net
+               | c -> c)
+           | c -> c)
+  in
+  Obs.Metrics.add m_endpoints (List.length endpoints);
+  { endpoints; worst; clock_period = config.clock_period }
+
+(* --- process-window fitting --------------------------------------- *)
+
+type fit = {
+  shift : float;
+  global_sigma : float;
+  local_sigma : float;
+  sites : int;
+  conditions : int;
+}
+
+let fit dl =
+  let conditions = Array.length dl in
+  if conditions = 0 then invalid_arg "Ssta.fit: no conditions";
+  let sites = Array.length dl.(0) in
+  if sites = 0 then invalid_arg "Ssta.fit: no gates";
+  Array.iter
+    (fun row ->
+      if Array.length row <> sites then invalid_arg "Ssta.fit: ragged matrix")
+    dl;
+  let row_mean row = Array.fold_left ( +. ) 0.0 row /. float_of_int sites in
+  let means = Array.map row_mean dl in
+  let shift = Array.fold_left ( +. ) 0.0 means /. float_of_int conditions in
+  let global_var =
+    Array.fold_left (fun acc m -> acc +. ((m -. shift) ** 2.0)) 0.0 means
+    /. float_of_int conditions
+  in
+  let resid2 = ref 0.0 in
+  Array.iteri
+    (fun c row ->
+      Array.iter
+        (fun v -> resid2 := !resid2 +. ((v -. means.(c)) ** 2.0))
+        row)
+    dl;
+  {
+    shift;
+    global_sigma = sqrt global_var;
+    local_sigma = sqrt (!resid2 /. float_of_int (conditions * sites));
+    sites;
+    conditions;
+  }
+
+(* --- printing ------------------------------------------------------ *)
+
+let pp_fit ppf f =
+  Format.fprintf ppf
+    "window fit: %d conditions x %d gates: dL=%+.2fnm sigma_g=%.2fnm sigma_l=%.2fnm"
+    f.conditions f.sites f.shift f.global_sigma f.local_sigma
+
+let pp_endpoint ppf e =
+  Format.fprintf ppf "net%d: slack=%.2f+-%.2fps crit=%.3f" e.net e.slack_mean
+    e.slack_sigma e.criticality
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "SSTA T=%.0fps: WNS mean=%.2fps sigma=%.2fps P(fail)=%.1f%%, %d endpoints"
+    t.clock_period (wns_mean t) (wns_sigma t)
+    (100.0 *. fail_probability t)
+    (List.length t.endpoints)

@@ -1,0 +1,51 @@
+let inv_sqrt_2pi = 0.3989422804014327
+
+let pdf x = inv_sqrt_2pi *. exp (-0.5 *. x *. x)
+
+(* Abramowitz & Stegun 7.1.26: erf(x) for x >= 0 with |error| <= 1.5e-7,
+   extended by erf(-x) = -erf(x). *)
+let erf x =
+  let ax = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. ax)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. t
+          *. (-0.284496736
+             +. t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))
+  in
+  let e = 1.0 -. (poly *. exp (-.ax *. ax)) in
+  if x < 0.0 then -.e else e
+
+let cdf x = 0.5 *. (1.0 +. erf (x /. sqrt 2.0))
+
+type max_moments = { max_mean : float; max_var : float; tightness : float }
+
+(* Clark, "The greatest of a finite set of random variables" (1961).
+   theta^2 = Var(X - Y); alpha = (mean1 - mean2) / theta.  When theta
+   vanishes the two variables are almost surely offset by a constant,
+   so the max is simply the larger-mean operand. *)
+let max_moments ~mean1 ~sigma1 ~mean2 ~sigma2 ~rho =
+  if sigma1 < 0.0 || sigma2 < 0.0 then
+    invalid_arg "Gaussian.max_moments: negative sigma";
+  if Float.abs rho > 1.0 then invalid_arg "Gaussian.max_moments: |rho| > 1";
+  let theta2 =
+    (sigma1 *. sigma1) +. (sigma2 *. sigma2) -. (2.0 *. rho *. sigma1 *. sigma2)
+  in
+  let theta = sqrt (Float.max 0.0 theta2) in
+  if theta <= 1e-12 then
+    if mean1 >= mean2 then
+      { max_mean = mean1; max_var = sigma1 *. sigma1; tightness = 1.0 }
+    else { max_mean = mean2; max_var = sigma2 *. sigma2; tightness = 0.0 }
+  else begin
+    let alpha = (mean1 -. mean2) /. theta in
+    let t = cdf alpha in
+    let phi = pdf alpha in
+    let mean = (mean1 *. t) +. (mean2 *. (1.0 -. t)) +. (theta *. phi) in
+    let second =
+      (((mean1 *. mean1) +. (sigma1 *. sigma1)) *. t)
+      +. (((mean2 *. mean2) +. (sigma2 *. sigma2)) *. (1.0 -. t))
+      +. ((mean1 +. mean2) *. theta *. phi)
+    in
+    { max_mean = mean; max_var = Float.max 0.0 (second -. (mean *. mean)); tightness = t }
+  end

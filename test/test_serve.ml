@@ -59,6 +59,8 @@ let all_requests =
     P.Cds { region = Some (Geometry.Rect.make ~lx:0 ~ly:0 ~hx:3000 ~hy:3000) };
     P.Corner { dose = 1.03; defocus = 90.0; spread = None };
     P.Corner { dose = 0.97; defocus = 30.0; spread = Some 8.0 };
+    P.Ssta { top = None };
+    P.Ssta { top = Some 3 };
     P.Metrics { all = false };
     P.Metrics { all = true };
     P.Profile { target = P.Status };
@@ -125,6 +127,34 @@ let all_replies =
           wns = 1.625;
           tns = -0.5;
           corners = [ ("fast", 6.25); ("nominal", 1.875); ("slow", -2.375) ];
+        } );
+    ( "ssta",
+      (* Floats chosen to survive the %.6g wire encoding, as above. *)
+      P.Ssta_r
+        {
+          clock_period = 40.625;
+          wns_mean = 2.125;
+          wns_sigma = 1.25;
+          fail_probability = 0.03125;
+          shift = -0.5;
+          global_sigma = 2.5;
+          local_sigma = 1.5;
+          conditions = 9;
+          endpoints =
+            [
+              {
+                P.net = 9;
+                slack_mean = 2.25;
+                slack_sigma = 1.125;
+                criticality = 0.75;
+              };
+              {
+                P.net = 10;
+                slack_mean = 2.5;
+                slack_sigma = 1.0;
+                criticality = 0.25;
+              };
+            ];
         } );
     ( "metrics",
       P.Metrics_r
@@ -348,6 +378,37 @@ let test_corner_matches_cold_run () =
      run's (same mask, same gates, same position-independent noise). *)
   let warm = F.extract_at ~condition r in
   checkb "records bit-identical to cold run" true (warm = cold.F.cds)
+
+let test_ssta_matches_cold () =
+  let s = session_for 1 in
+  let r = Session.run s in
+  let cold = F.ssta r in
+  (match reply_exn s (P.Ssta { top = None }) with
+  | P.Ssta_r v ->
+      check_ps "wns mean" (Sta.Ssta.wns_mean cold.F.ssta) v.wns_mean;
+      check_ps "wns sigma" (Sta.Ssta.wns_sigma cold.F.ssta) v.wns_sigma;
+      check_ps "shift" cold.F.variation.Sta.Ssta.mean_shift v.shift;
+      check_ps "local sigma includes noise floor"
+        cold.F.variation.Sta.Ssta.sigma_local v.local_sigma;
+      checki "conditions" cold.F.fit.Sta.Ssta.conditions v.conditions;
+      checki "every endpoint reported"
+        (List.length cold.F.ssta.Sta.Ssta.endpoints)
+        (List.length v.endpoints);
+      List.iter2
+        (fun (a : Sta.Ssta.endpoint) (b : P.ssta_endpoint) ->
+          checki "endpoint order" a.Sta.Ssta.net b.P.net;
+          check_ps "slack mean" a.Sta.Ssta.slack_mean b.P.slack_mean;
+          check_ps "criticality" a.Sta.Ssta.criticality b.P.criticality)
+        cold.F.ssta.Sta.Ssta.endpoints v.endpoints
+  | _ -> Alcotest.fail "not an ssta reply");
+  (* top caps the list; the memoised second answer is byte-identical. *)
+  (match reply_exn s (P.Ssta { top = Some 1 }) with
+  | P.Ssta_r v -> checki "top caps endpoints" 1 (List.length v.endpoints)
+  | _ -> Alcotest.fail "not an ssta reply");
+  let line r = P.response_to_string { P.id = 1; verb = Some "ssta"; reply = Ok r } in
+  checks "warm replay is byte-identical"
+    (line (reply_exn s (P.Ssta { top = None })))
+    (line (reply_exn s (P.Ssta { top = None })))
 
 let test_cds_matches_records () =
   let s = session_for 1 in
@@ -643,6 +704,7 @@ let () =
             test_corner_matches_cold_run;
           Alcotest.test_case "cds matches records" `Quick
             test_cds_matches_records;
+          Alcotest.test_case "ssta matches cold" `Quick test_ssta_matches_cold;
         ] );
       ( "determinism",
         [

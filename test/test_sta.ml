@@ -153,6 +153,47 @@ let test_montecarlo_spread () =
     (let p = Sta.Montecarlo.fail_probability s in
      p >= 0.0 && p <= 1.0)
 
+(* Pin the oracle before SSTA diffs against it (test_ssta.ml): two
+   disjoint seed streams at a fixed trial count must agree on the
+   critical-delay mean within CLT bounds and on sigma within 20%. *)
+let test_montecarlo_convergence () =
+  let n = Circuit.Generator.ripple_adder ~bits:4 in
+  let loads = Circuit.Loads.of_netlist env n in
+  let trials = 400 in
+  let run seed =
+    Stats.Summary.of_array
+      (Sta.Montecarlo.run env n ~loads
+         { mc_config with Sta.Montecarlo.trials }
+         (Stats.Rng.create seed))
+        .Sta.Montecarlo.critical_delay
+  in
+  let a = run 1001 and b = run 2002 in
+  let se = a.Stats.Summary.std /. sqrt (float_of_int trials) in
+  checkb "means within 4 standard errors" true
+    (Float.abs (a.Stats.Summary.mean -. b.Stats.Summary.mean) < 4.0 *. sqrt 2.0 *. se);
+  checkb "sigmas within 20%" true
+    (Float.abs (a.Stats.Summary.std -. b.Stats.Summary.std)
+    < 0.2 *. a.Stats.Summary.std)
+
+let test_montecarlo_endpoint_arrivals () =
+  (* The per-endpoint sample matrix the SSTA differential reads: one
+     column per trial, max over endpoints = the critical delay. *)
+  let n = Circuit.Generator.ripple_adder ~bits:4 in
+  let loads = Circuit.Loads.of_netlist env n in
+  let s = Sta.Montecarlo.run env n ~loads mc_config (Stats.Rng.create 17) in
+  Alcotest.(check int) "one row per primary output"
+    (List.length n.Circuit.Netlist.primary_outputs)
+    (Array.length s.Sta.Montecarlo.endpoints);
+  Array.iteri
+    (fun trial crit ->
+      let worst =
+        Array.fold_left
+          (fun acc col -> Float.max acc col.(trial))
+          neg_infinity s.Sta.Montecarlo.arrivals
+      in
+      Alcotest.(check (float 1e-9)) "max arrival = critical delay" crit worst)
+    s.Sta.Montecarlo.critical_delay
+
 let test_montecarlo_mean_shift () =
   let n = Circuit.Generator.inv_chain 5 in
   let loads = Circuit.Loads.of_netlist env n in
@@ -375,6 +416,9 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_montecarlo_deterministic;
           Alcotest.test_case "spread" `Quick test_montecarlo_spread;
+          Alcotest.test_case "convergence" `Quick test_montecarlo_convergence;
+          Alcotest.test_case "endpoint arrivals" `Quick
+            test_montecarlo_endpoint_arrivals;
           Alcotest.test_case "mean shift" `Quick test_montecarlo_mean_shift;
         ] );
       ( "path-report",
