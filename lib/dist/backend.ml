@@ -1,0 +1,467 @@
+(* Multi-process shard coordinator.
+
+   Workers are spawned lazily ([Sys.executable_name] re-entering
+   through [Worker.exec_if_requested]) and fed one work item at a
+   time over stdin; dispatch is pull-based — a worker gets its next
+   shard the moment it acknowledges the previous one — so fast
+   workers naturally absorb the stragglers' backlog without any
+   speculative re-execution.  Results never ride the pipe: workers
+   save them into a content-addressed {!Checkpoint} store and the
+   coordinator loads them back with the store's stale/tamper
+   rejection, then merges per-shard results in shard order — the same
+   canonical merge as the in-process path, so stdout is
+   byte-identical for any worker count.
+
+   Failure policy, in escalation order:
+   - a [failed] reply consumes one attempt of the flow's bounded
+     retry budget ([config.retry]) and the item is re-queued;
+   - a worker that dies mid-item (EOF / protocol breach on its pipe)
+     is retired — no respawn — and its item re-queued {e without}
+     consuming retry budget ([dist.reassigned]);
+   - an item out of retry budget, or a queue with no live workers
+     left, falls back to inline execution through the very same
+     {!Work.exec} code path workers run ([dist.inline]), keeping the
+     bytes identical;
+   - an inline failure is terminal and raises. *)
+
+module Flow = Timing_opc.Flow
+module Checkpoint = Timing_opc.Checkpoint
+module Shard = Timing_opc.Shard
+
+let m_dispatched = Obs.Metrics.counter "dist.dispatched"
+
+let m_completed = Obs.Metrics.counter "dist.completed"
+
+let m_reassigned = Obs.Metrics.counter "dist.reassigned"
+
+let m_retries = Obs.Metrics.counter "dist.retries"
+
+let m_inline = Obs.Metrics.counter "dist.inline"
+
+type worker = {
+  w_index : int;
+  pid : int;
+  to_w : out_channel;
+  from_fd : Unix.file_descr;
+  rbuf : Buffer.t;  (** raw reply bytes; lines are cut here, not via
+                        [in_channel], so [select] never misses
+                        buffered data *)
+  mutable busy : (int * Wire.item * int) option;
+      (** (result slot, item, failures so far) in flight *)
+  mutable alive : bool;
+}
+
+type t = {
+  exe : string;
+  want : int;  (** worker processes to spawn, >= 1 *)
+  scratch_dir : string;
+  ctx : Work.ctx;
+  mutable workers : worker list;
+  mutable spawned : bool;
+  mutable next_id : int;
+  mutable qn : int;  (** per-query counter naming scratch artifacts *)
+  mutable closed : bool;
+}
+
+let instances = ref 0
+
+let create ?(exe = Sys.executable_name) ~workers () =
+  incr instances;
+  let scratch_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "potx-dist-%d-%d" (Unix.getpid ()) !instances)
+  in
+  {
+    exe;
+    want = max 1 workers;
+    scratch_dir;
+    ctx = Work.create ~scratch_dir;
+    workers = [];
+    spawned = false;
+    next_id = 0;
+    qn = 0;
+    closed = false;
+  }
+
+let next_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let spawn_one t i =
+  (* [create_process] dup2s the child ends onto 0/1 (clearing
+     close-on-exec); every other end vanishes at exec, so workers
+     never hold each other's pipes open. *)
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let argv =
+    Array.of_list
+      ([ t.exe; "worker"; "--store"; t.scratch_dir; "--index"; string_of_int i ]
+      @
+      match Fault.current_plan () with
+      | Some plan -> [ "--faults"; Fault.to_string plan ]
+      | None -> [])
+  in
+  let pid = Unix.create_process t.exe argv in_r out_w Unix.stderr in
+  Unix.close in_r;
+  Unix.close out_w;
+  {
+    w_index = i;
+    pid;
+    to_w = Unix.out_channel_of_descr in_w;
+    from_fd = out_r;
+    rbuf = Buffer.create 256;
+    busy = None;
+    alive = true;
+  }
+
+let ensure_spawned t =
+  if not t.spawned then begin
+    (* A write to a worker that died mid-item must surface as EPIPE,
+       not kill the coordinator. *)
+    (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+     with Invalid_argument _ -> ());
+    t.workers <- List.init t.want (spawn_one t);
+    t.spawned <- true
+  end
+
+let retire w =
+  if w.alive then begin
+    w.alive <- false;
+    (try close_out w.to_w with Sys_error _ -> ());
+    (try Unix.close w.from_fd with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ()
+  end
+
+let backoff_sleep (r : Fault.retry) failures =
+  let d =
+    r.Fault.backoff_s *. (r.Fault.backoff_factor ** float_of_int (failures - 1))
+  in
+  let d = Float.min d r.Fault.max_backoff_s in
+  if d > 0. then Unix.sleepf d
+
+(* Run a batch of slots to completion.  [Either.Left v] slots carry
+   pre-known results (empty shards, checkpoint-resumed shards) and
+   are never dispatched; [Either.Right item] slots go through the
+   worker pool.  Results come back in slot order. *)
+let execute (type a) t ~retry ~(load : Wire.item -> (a, string) result)
+    (slots : (a, Wire.item) Either.t list) : a list =
+  let n = List.length slots in
+  let results : a option array = Array.make n None in
+  let queue = Queue.create () in
+  let pending = ref 0 in
+  List.iteri
+    (fun i -> function
+      | Either.Left v -> results.(i) <- Some v
+      | Either.Right item ->
+          incr pending;
+          Queue.add (i, item, 0) queue)
+    slots;
+  let finish i v =
+    results.(i) <- Some v;
+    Obs.Metrics.incr m_completed;
+    decr pending
+  in
+  let inline i (item : Wire.item) =
+    Obs.Metrics.incr m_inline;
+    (match Work.exec t.ctx item with
+    | Ok () -> ()
+    | Error e ->
+        failwith
+          (Printf.sprintf "dist: shard %d/%d failed inline: %s"
+             (item.Wire.shard + 1) item.Wire.count e));
+    match load item with
+    | Ok v -> finish i v
+    | Error e -> failwith ("dist: " ^ e)
+  in
+  let fail i item failures msg =
+    let failures = failures + 1 in
+    if failures < retry.Fault.attempts then begin
+      Obs.Metrics.incr m_retries;
+      backoff_sleep retry failures;
+      Queue.add (i, item, failures) queue
+    end
+    else begin
+      (* Retry budget spent remotely ([msg] was the last word); the
+         shard still has to land, so compute it here through the same
+         code path. *)
+      ignore msg;
+      inline i item
+    end
+  in
+  let reassign w =
+    match w.busy with
+    | None -> ()
+    | Some (i, item, failures) ->
+        w.busy <- None;
+        Obs.Metrics.incr m_reassigned;
+        (* A crash is the pool's fault, not the item's: requeue
+           without consuming retry budget. *)
+        Queue.add (i, item, failures) queue
+  in
+  let retire_and_reassign w =
+    retire w;
+    reassign w
+  in
+  let handle_reply w line =
+    match Wire.reply_of_line line with
+    | Error _ -> retire_and_reassign w
+    | Ok Wire.Ready -> ()
+    | Ok (Wire.Done id) -> (
+        match w.busy with
+        | Some (i, item, failures) when item.Wire.id = id -> (
+            w.busy <- None;
+            match load item with
+            | Ok v -> finish i v
+            | Error e ->
+                (* Acknowledged but the artifact doesn't verify:
+                   treat as a failed attempt. *)
+                fail i item failures e)
+        | _ -> retire_and_reassign w)
+    | Ok (Wire.Failed (id_opt, msg)) -> (
+        match w.busy with
+        | Some (i, item, failures)
+          when (match id_opt with Some id -> id = item.Wire.id | None -> true)
+          ->
+            w.busy <- None;
+            fail i item failures msg
+        | _ -> retire_and_reassign w)
+  in
+  (* Cut complete lines out of the worker's reply buffer. *)
+  let rec drain_lines w =
+    if w.alive then begin
+      let s = Buffer.contents w.rbuf in
+      match String.index_opt s '\n' with
+      | None -> ()
+      | Some nl ->
+          Buffer.clear w.rbuf;
+          Buffer.add_string w.rbuf
+            (String.sub s (nl + 1) (String.length s - nl - 1));
+          handle_reply w (String.sub s 0 nl);
+          drain_lines w
+    end
+  in
+  let chunk = Bytes.create 4096 in
+  let on_readable w =
+    match Unix.read w.from_fd chunk 0 (Bytes.length chunk) with
+    | 0 -> retire_and_reassign w
+    | len ->
+        Buffer.add_subbytes w.rbuf chunk 0 len;
+        drain_lines w
+    | exception Unix.Unix_error _ -> retire_and_reassign w
+  in
+  let dispatch w =
+    if w.alive && w.busy = None && not (Queue.is_empty queue) then begin
+      let ((_, item, _) as job) = Queue.pop queue in
+      w.busy <- Some job;
+      Obs.Metrics.incr m_dispatched;
+      try
+        output_string w.to_w (Wire.item_to_line item);
+        output_char w.to_w '\n';
+        flush w.to_w
+      with Sys_error _ -> retire_and_reassign w
+    end
+  in
+  let rec pump () =
+    if !pending > 0 then begin
+      List.iter dispatch t.workers;
+      let busy = List.filter (fun w -> w.alive && w.busy <> None) t.workers in
+      if busy = [] then begin
+        (* Every worker is gone (or the queue outlived them): finish
+           the batch inline rather than wedge. *)
+        while not (Queue.is_empty queue) do
+          let i, item, _ = Queue.pop queue in
+          inline i item
+        done;
+        if !pending > 0 then
+          failwith "dist: items in flight with no live workers"
+      end
+      else begin
+        let readable, _, _ =
+          Unix.select (List.map (fun w -> w.from_fd) busy) [] [] (-1.0)
+        in
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun w -> w.from_fd == fd) busy with
+            | Some w -> on_readable w
+            | None -> ())
+          readable;
+        pump ()
+      end
+    end
+  in
+  if !pending > 0 then begin
+    ensure_spawned t;
+    Obs.Span.with_ ~name:"dist.execute"
+      ~attrs:(fun () ->
+        [
+          ("items", string_of_int !pending);
+          ("workers", string_of_int (List.length t.workers));
+        ])
+      pump
+  end;
+  Array.to_list results
+  |> List.map (function
+       | Some v -> v
+       | None -> failwith "dist: missing result slot")
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter retire t.workers;
+    t.workers <- [];
+    if Sys.file_exists t.scratch_dir then begin
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          (try Sys.rmdir path with Sys_error _ -> ())
+        end
+        else try Sys.remove path with Sys_error _ -> ()
+      in
+      rm t.scratch_dir
+    end
+  end
+
+(* {1 Flow entry points} *)
+
+let shard_spec (s : Shard.t) =
+  Printf.sprintf "shard=%d/%d@%d..%d" s.Shard.index s.Shard.count s.Shard.x_lo
+    s.Shard.x_hi
+
+let opc_batches t (config : Flow.config) chip shards =
+  let chip_key = Work.publish_chip t.ctx chip in
+  t.qn <- t.qn + 1;
+  let q = t.qn in
+  let n = List.length shards in
+  let params = Wire.params_of_config config in
+  let slots =
+    List.mapi
+      (fun i (s : Shard.t) ->
+        Either.Right
+          {
+            Wire.id = next_id t;
+            shard = s.Shard.index;
+            count = n;
+            chip = chip_key;
+            mask = None;
+            dir = t.scratch_dir;
+            artifact = Printf.sprintf "opcb%d.s%dof%d" q (i + 1) n;
+            key = Flow.opc_key config ~extra:(shard_spec s) chip;
+            job = Wire.Opc;
+            params;
+          })
+      shards
+  in
+  execute t ~retry:config.Flow.retry
+    ~load:(fun it -> Work.load_result t.ctx Wire.decode_opc_batch it)
+    slots
+
+(* Ownership anchor of a gate site — Shard.plan's left-edge rule. *)
+let gate_anchor ~tile g =
+  let kx, _ = Cdex.Extract.bucket_key ~tile g in
+  kx * tile
+
+let extract t (config : Flow.config) ~condition ~chip ~mask ~subset ~checkpoint
+    ~ckpt_stage ~ckpt_extra shards =
+  let chip_key = Work.publish_chip t.ctx chip in
+  let mask_key = Work.publish_mask t.ctx mask in
+  (* Scratch-artifact keys must reflect the queried condition (what-if
+     and corner queries override the run's silicon point). *)
+  let kconfig = { config with Flow.condition } in
+  t.qn <- t.qn + 1;
+  let q = t.qn in
+  let n = List.length shards in
+  let params = Wire.params_of_config config in
+  let slots =
+    List.mapi
+      (fun i (s : Shard.t) ->
+        let owned, subset_keys =
+          match subset with
+          | None -> (s.Shard.gates, None)
+          | Some gates ->
+              (* Owner partition of the caller's order: concatenating
+                 per-shard results in shard order rebuilds exactly the
+                 order the caller asked in. *)
+              let mine =
+                List.filter
+                  (fun g ->
+                    Shard.owns_x s (gate_anchor ~tile:config.Flow.tile g))
+                  gates
+              in
+              (mine, Some (List.map Layout.Chip.gate_key mine))
+        in
+        if owned = [] then Either.Left []
+        else begin
+          let dir, artifact, key =
+            match checkpoint with
+            | Some (ck : Checkpoint.t) ->
+                (* The flow's own stage names and content keys, so a
+                   run checkpointed under workers resumes without
+                   them and vice versa. *)
+                let name, extra =
+                  if s.Shard.count = 1 then (ckpt_stage, ckpt_extra)
+                  else
+                    ( Printf.sprintf "%s.s%dof%d" ckpt_stage (s.Shard.index + 1)
+                        s.Shard.count,
+                      Printf.sprintf "shard=%d/%d@%d..%d|%s" s.Shard.index
+                        s.Shard.count s.Shard.x_lo s.Shard.x_hi ckpt_extra )
+                in
+                ( ck.Checkpoint.dir,
+                  name,
+                  Flow.cds_key kconfig ~extra ~mask_digest:mask_key
+                    ~chip_digest:chip_key )
+            | None ->
+                let extra =
+                  Printf.sprintf "%s|subset=%s|%s" (shard_spec s)
+                    (match subset_keys with
+                    | None -> "-"
+                    | Some keys ->
+                        Digest.to_hex (Digest.string (String.concat "," keys)))
+                    ckpt_extra
+                in
+                ( t.scratch_dir,
+                  Printf.sprintf "cdq%d.s%dof%d" q (i + 1) n,
+                  Flow.cds_key kconfig ~extra ~mask_digest:mask_key
+                    ~chip_digest:chip_key )
+          in
+          let item =
+            {
+              Wire.id = next_id t;
+              shard = s.Shard.index;
+              count = n;
+              chip = chip_key;
+              mask = Some mask_key;
+              dir;
+              artifact;
+              key;
+              job = Wire.Cds { condition; subset = subset_keys };
+              params;
+            }
+          in
+          let resumed =
+            match checkpoint with
+            | Some ck when ck.Checkpoint.resume ->
+                Checkpoint.try_load ck ~name:artifact ~key
+                  ~decode:Flow.decode_cds
+            | _ -> None
+          in
+          match resumed with
+          | Some cds -> Either.Left cds
+          | None -> Either.Right item
+        end)
+      shards
+  in
+  execute t ~retry:config.Flow.retry
+    ~load:(fun it -> Work.load_result t.ctx Flow.decode_cds it)
+    slots
+
+let flow_backend t =
+  {
+    Flow.dist_opc = (fun config chip shards -> opc_batches t config chip shards);
+    dist_extract =
+      (fun config ~condition ~chip ~mask ~subset ~checkpoint ~ckpt_stage
+           ~ckpt_extra shards ->
+        extract t config ~condition ~chip ~mask ~subset ~checkpoint ~ckpt_stage
+          ~ckpt_extra shards);
+    dist_shutdown = (fun () -> shutdown t);
+  }

@@ -1,0 +1,472 @@
+(* JSONL work-item protocol between the shard coordinator and [potx
+   worker] child processes, riding the Obs.Json conventions the serve
+   protocol established: one object per line, every float as a %h hex
+   string (Json numbers print %.6g-lossy, hex strings round-trip
+   bit-for-bit), every int as a decimal string.
+
+   A work item names {e inputs by content key} (the chip and mask ride
+   as content-addressed artifacts in the coordinator's scratch store)
+   and {e outputs by (directory, artifact name, content key)} — the
+   worker computes its shard and saves the result where told; only
+   tiny acknowledgement lines flow back up the pipe.  Everything a
+   worker needs to rebuild flow state deterministically (technology,
+   OPC recipe, engine, seed, retry policy) travels in the [params]
+   object, so a worker is stateless across items. *)
+
+module Flow = Timing_opc.Flow
+
+let hex = Printf.sprintf "%h"
+
+let str s = Obs.Json.Str s
+
+let int_s i = Obs.Json.Str (string_of_int i)
+
+let float_s f = Obs.Json.Str (hex f)
+
+let member_str k j = Option.bind (Obs.Json.member k j) Obs.Json.to_str
+
+let member_int k j = Option.bind (member_str k j) int_of_string_opt
+
+let member_float k j = Option.bind (member_str k j) float_of_string_opt
+
+let member_bool k j =
+  match Obs.Json.member k j with Some (Obs.Json.Bool b) -> Some b | _ -> None
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or malformed field %S" what)
+
+let ( let* ) = Result.bind
+
+(* --- flow params ------------------------------------------------- *)
+
+let params_of_config (c : Flow.config) =
+  let oc = c.Flow.opc_config in
+  Obs.Json.Obj
+    [
+      ("tech", str c.Flow.tech.Layout.Tech.name);
+      ("style", str (Flow.opc_style_tag c.Flow.opc_style));
+      ("o_iterations", int_s oc.Opc.Model_opc.iterations);
+      ("o_damping", float_s oc.Opc.Model_opc.damping);
+      ("o_max_len", int_s oc.Opc.Model_opc.max_len);
+      ("o_line_end_max", int_s oc.Opc.Model_opc.line_end_max);
+      ("o_max_displacement", int_s oc.Opc.Model_opc.max_displacement);
+      ("o_tolerance", float_s oc.Opc.Model_opc.tolerance);
+      ("o_search", float_s oc.Opc.Model_opc.search);
+      ("o_mask_grid", int_s oc.Opc.Model_opc.mask_grid);
+      ("o_min_mask_space", int_s oc.Opc.Model_opc.min_mask_space);
+      ("o_incremental", Obs.Json.Bool oc.Opc.Model_opc.incremental);
+      ("o_sim_tile", int_s oc.Opc.Model_opc.sim_tile);
+      ("tile", int_s c.Flow.tile);
+      ("seed", int_s c.Flow.seed);
+      ("slices", int_s c.Flow.slices);
+      ("noise_gate", float_s c.Flow.cd_noise_gate);
+      ("noise_slice", float_s c.Flow.cd_noise_slice);
+      ("cache", Obs.Json.Bool c.Flow.cache);
+      ("engine", str (Litho.Aerial.engine_to_string c.Flow.engine));
+      ("r_attempts", int_s c.Flow.retry.Fault.attempts);
+      ("r_backoff_s", float_s c.Flow.retry.Fault.backoff_s);
+      ("r_backoff_factor", float_s c.Flow.retry.Fault.backoff_factor);
+      ("r_max_backoff_s", float_s c.Flow.retry.Fault.max_backoff_s);
+    ]
+
+(* Worker-side reconstruction.  Only the stock technology can be named
+   across a process boundary (Flow.dist_supported guards the
+   coordinator side, so a mismatch here is a protocol error). *)
+let config_of_params j =
+  let* tech_name = require "tech" (member_str "tech" j) in
+  let* tech =
+    if String.equal tech_name "node90" then Ok Layout.Tech.node90
+    else Error (Printf.sprintf "unsupported technology %S" tech_name)
+  in
+  let* style =
+    let* tag = require "style" (member_str "style" j) in
+    require "style" (Flow.opc_style_of_tag tag)
+  in
+  let* engine =
+    let* e = require "engine" (member_str "engine" j) in
+    require "engine" (Litho.Aerial.engine_of_string e)
+  in
+  let int k = require k (member_int k j) in
+  let flt k = require k (member_float k j) in
+  let bol k = require k (member_bool k j) in
+  let* o_iterations = int "o_iterations" in
+  let* o_damping = flt "o_damping" in
+  let* o_max_len = int "o_max_len" in
+  let* o_line_end_max = int "o_line_end_max" in
+  let* o_max_displacement = int "o_max_displacement" in
+  let* o_tolerance = flt "o_tolerance" in
+  let* o_search = flt "o_search" in
+  let* o_mask_grid = int "o_mask_grid" in
+  let* o_min_mask_space = int "o_min_mask_space" in
+  let* o_incremental = bol "o_incremental" in
+  let* o_sim_tile = int "o_sim_tile" in
+  let* tile = int "tile" in
+  let* seed = int "seed" in
+  let* slices = int "slices" in
+  let* noise_gate = flt "noise_gate" in
+  let* noise_slice = flt "noise_slice" in
+  let* cache = bol "cache" in
+  let* r_attempts = int "r_attempts" in
+  let* r_backoff_s = flt "r_backoff_s" in
+  let* r_backoff_factor = flt "r_backoff_factor" in
+  let* r_max_backoff_s = flt "r_max_backoff_s" in
+  let base = Flow.default_config () in
+  Ok
+    {
+      base with
+      Flow.tech;
+      opc_style = style;
+      opc_config =
+        {
+          Opc.Model_opc.iterations = o_iterations;
+          damping = o_damping;
+          max_len = o_max_len;
+          line_end_max = o_line_end_max;
+          max_displacement = o_max_displacement;
+          tolerance = o_tolerance;
+          search = o_search;
+          mask_grid = o_mask_grid;
+          min_mask_space = o_min_mask_space;
+          incremental = o_incremental;
+          sim_tile = o_sim_tile;
+        };
+      tile;
+      seed;
+      slices;
+      cd_noise_gate = noise_gate;
+      cd_noise_slice = noise_slice;
+      cache;
+      engine;
+      retry =
+        {
+          Fault.attempts = r_attempts;
+          backoff_s = r_backoff_s;
+          backoff_factor = r_backoff_factor;
+          max_backoff_s = r_max_backoff_s;
+        };
+      domains = 1;
+      shard = 1;
+      checkpoint = None;
+      dist = None;
+    }
+
+(* --- work items --------------------------------------------------- *)
+
+type job =
+  | Opc  (** correct the shard's OPC tile columns against the chip *)
+  | Cds of { condition : Litho.Condition.t; subset : string list option }
+      (** extract the shard's gate CDs against the mask; [subset]
+          restricts to the named gate keys, in exactly that order *)
+
+type item = {
+  id : int;
+  shard : int;  (** 0-based shard index in the plan *)
+  count : int;  (** shard count of the plan *)
+  chip : string;  (** chip transport-artifact content key *)
+  mask : string option;  (** mask transport-artifact content key *)
+  dir : string;  (** directory the result artifact is saved into *)
+  artifact : string;  (** result artifact (stage) name *)
+  key : string;  (** result artifact content key *)
+  job : job;
+  params : Obs.Json.t;
+}
+
+let item_to_line it =
+  let job_fields =
+    match it.job with
+    | Opc -> [ ("job", str "opc") ]
+    | Cds { condition; subset } ->
+        [
+          ("job", str "cds");
+          ("dose", float_s condition.Litho.Condition.dose);
+          ("defocus", float_s condition.Litho.Condition.defocus);
+        ]
+        @ (match subset with
+          | None -> []
+          | Some keys -> [ ("subset", Obs.Json.Arr (List.map str keys)) ])
+  in
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       ([
+          ("type", str "item");
+          ("id", int_s it.id);
+          ("shard", int_s it.shard);
+          ("count", int_s it.count);
+          ("chip", str it.chip);
+        ]
+       @ (match it.mask with None -> [] | Some m -> [ ("mask", str m) ])
+       @ [ ("dir", str it.dir); ("artifact", str it.artifact);
+           ("key", str it.key) ]
+       @ job_fields
+       @ [ ("params", it.params) ]))
+
+let item_of_line line =
+  let* j =
+    match Obs.Json.parse (String.trim line) with
+    | Ok j -> Ok j
+    | Error e -> Error ("unparsable work item: " ^ e)
+  in
+  let* () =
+    match member_str "type" j with
+    | Some "item" -> Ok ()
+    | _ -> Error "not a work-item object"
+  in
+  let* id = require "id" (member_int "id" j) in
+  let* shard = require "shard" (member_int "shard" j) in
+  let* count = require "count" (member_int "count" j) in
+  let* () =
+    if shard >= 0 && count >= 1 && shard < count then Ok ()
+    else Error (Printf.sprintf "bad shard spec %d/%d" shard count)
+  in
+  let* chip = require "chip" (member_str "chip" j) in
+  let mask = member_str "mask" j in
+  let* dir = require "dir" (member_str "dir" j) in
+  let* artifact = require "artifact" (member_str "artifact" j) in
+  let* key = require "key" (member_str "key" j) in
+  let* params = require "params" (Obs.Json.member "params" j) in
+  let* job =
+    match member_str "job" j with
+    | Some "opc" -> Ok Opc
+    | Some "cds" ->
+        let* dose = require "dose" (member_float "dose" j) in
+        let* defocus = require "defocus" (member_float "defocus" j) in
+        let* subset =
+          match Obs.Json.member "subset" j with
+          | None -> Ok None
+          | Some (Obs.Json.Arr keys) ->
+              let rec strs acc = function
+                | [] -> Ok (Some (List.rev acc))
+                | Obs.Json.Str s :: rest -> strs (s :: acc) rest
+                | _ -> Error "subset entries must be strings"
+              in
+              strs [] keys
+          | Some _ -> Error "subset must be an array"
+        in
+        Ok (Cds { condition = Litho.Condition.make ~dose ~defocus; subset })
+    | _ -> Error "missing or unknown job"
+  in
+  Ok { id; shard; count; chip; mask; dir; artifact; key; job; params }
+
+(* --- acknowledgements --------------------------------------------- *)
+
+type reply =
+  | Ready  (** worker booted and is waiting for items *)
+  | Done of int  (** item [id] computed and its artifact saved *)
+  | Failed of int option * string
+      (** item [id] (when the line parsed far enough to know it)
+          failed with a reason; the worker keeps serving *)
+
+let reply_to_line = function
+  | Ready -> Obs.Json.to_string (Obs.Json.Obj [ ("type", str "ready") ])
+  | Done id ->
+      Obs.Json.to_string
+        (Obs.Json.Obj [ ("type", str "done"); ("id", int_s id) ])
+  | Failed (id, e) ->
+      Obs.Json.to_string
+        (Obs.Json.Obj
+           ([ ("type", str "failed") ]
+           @ (match id with None -> [] | Some id -> [ ("id", int_s id) ])
+           @ [ ("error", str e) ]))
+
+let reply_of_line line =
+  let* j =
+    match Obs.Json.parse (String.trim line) with
+    | Ok j -> Ok j
+    | Error e -> Error ("unparsable reply: " ^ e)
+  in
+  match member_str "type" j with
+  | Some "ready" -> Ok Ready
+  | Some "done" ->
+      let* id = require "id" (member_int "id" j) in
+      Ok (Done id)
+  | Some "failed" ->
+      let e = Option.value ~default:"unknown" (member_str "error" j) in
+      Ok (Failed (member_int "id" j, e))
+  | _ -> Error "unknown reply type"
+
+(* --- transport codecs --------------------------------------------- *)
+
+(* Chips cross the process boundary at instance level: Io.write_chip
+   flattens irreversibly, but Chip.create + add in instance order
+   rebuilds the die, gate enumeration and flattened layers exactly
+   (Session.chip_with_move relies on the same property).  Parametric
+   filler cells are regenerated by name. *)
+
+let orient_tag = function
+  | Geometry.Transform.R0 -> "R0"
+  | Geometry.Transform.MX -> "MX"
+  | _ -> invalid_arg "Dist.Wire: non-row orientation"
+
+let orient_of_tag = function
+  | "R0" -> Some Geometry.Transform.R0
+  | "MX" -> Some Geometry.Transform.MX
+  | _ -> None
+
+let chip_text chip =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    ("tech " ^ (Layout.Chip.tech chip).Layout.Tech.name ^ "\n");
+  List.iter
+    (fun (i : Layout.Chip.instance) ->
+      let p = i.Layout.Chip.placement in
+      Buffer.add_string b
+        (Printf.sprintf "inst %s %s %s %d %d\n" i.Layout.Chip.iname
+           i.Layout.Chip.cell.Layout.Cell.cname
+           (orient_tag p.Geometry.Transform.orient)
+           p.Geometry.Transform.offset.Geometry.Point.x
+           p.Geometry.Transform.offset.Geometry.Point.y))
+    (Layout.Chip.instances chip);
+  Buffer.contents b
+
+let cell_of_cname tech cname =
+  match Layout.Stdcell.find tech cname with
+  | cell -> Ok cell
+  | exception Invalid_argument _ ->
+      (* Parametric fillers ("FILL<pitches>[D]") are generated, not
+         listed; rebuild them from the name. *)
+      let fill body dummy =
+        match int_of_string_opt body with
+        | Some pitches when pitches > 0 ->
+            Ok (Layout.Stdcell.filler tech ~pitches ~dummy_poly:dummy)
+        | _ -> Error (Printf.sprintf "unknown cell %S" cname)
+      in
+      if String.length cname > 4 && String.sub cname 0 4 = "FILL" then
+        let body = String.sub cname 4 (String.length cname - 4) in
+        if String.length body > 1 && String.ends_with ~suffix:"D" body then
+          fill (String.sub body 0 (String.length body - 1)) true
+        else fill body false
+      else Error (Printf.sprintf "unknown cell %S" cname)
+
+let chip_of_text text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty chip payload"
+  | tech_line :: insts -> (
+      match String.split_on_char ' ' tech_line with
+      | [ "tech"; "node90" ] -> (
+          let tech = Layout.Tech.node90 in
+          let chip = Layout.Chip.create tech in
+          let add line =
+            match String.split_on_char ' ' line with
+            | [ "inst"; iname; cname; orient; x; y ] -> (
+                match
+                  (cell_of_cname tech cname, orient_of_tag orient,
+                   int_of_string_opt x, int_of_string_opt y)
+                with
+                | Ok cell, Some orient, Some x, Some y ->
+                    Layout.Chip.add chip ~iname ~cell
+                      (Geometry.Transform.make ~orient
+                         (Geometry.Point.make x y));
+                    Ok ()
+                | Error e, _, _, _ -> Error e
+                | _ -> Error (Printf.sprintf "bad instance line %S" line))
+            | _ -> Error (Printf.sprintf "bad instance line %S" line)
+          in
+          let rec go = function
+            | [] -> Ok chip
+            | l :: rest -> (
+                match add l with Ok () -> go rest | Error e -> Error e)
+          in
+          match go insts with
+          | result -> result
+          | exception Invalid_argument e -> Error e)
+      | _ -> Error "chip payload must start with a supported tech line")
+
+let encode_chip chip = (chip_text chip, [])
+
+let decode_chip ~payload ~meta:_ = Result.to_option (chip_of_text payload)
+
+(* The mask codec is the flow's own checkpoint text (order-preserving
+   shape lines); stats ride in the meta only for the full-mask stage,
+   so transport needs just the payload. *)
+let encode_mask_only mask = (Flow.mask_text mask, [])
+
+let decode_mask_only ~payload ~meta:_ =
+  match Layout.Io.read_shapes payload with
+  | shapes -> Some (Opc.Mask.of_polygons (List.map snd shapes))
+  | exception _ -> None
+
+(* An OPC overwrite batch — what Chip_opc.correct_tiles returns for a
+   shard's tile columns: (item id, polygon) overwrites in canonical
+   tile order plus per-tile convergence stats.  Polygons ride as shape
+   lines (ids zipped from the meta, order preserved); stats as hex
+   strings. *)
+
+let stats_json (s : Opc.Model_opc.stats) =
+  Obs.Json.Obj
+    [
+      ("iterations_run", int_s s.Opc.Model_opc.iterations_run);
+      ("max_epe", float_s s.Opc.Model_opc.max_epe);
+      ("rms_epe", float_s s.Opc.Model_opc.rms_epe);
+      ("sites", int_s s.Opc.Model_opc.sites);
+      ("unresolved", int_s s.Opc.Model_opc.unresolved);
+    ]
+
+let stats_of_json j =
+  match
+    ( member_int "iterations_run" j, member_float "max_epe" j,
+      member_float "rms_epe" j, member_int "sites" j,
+      member_int "unresolved" j )
+  with
+  | Some iterations_run, Some max_epe, Some rms_epe, Some sites,
+    Some unresolved ->
+      Some
+        { Opc.Model_opc.iterations_run; max_epe; rms_epe; sites; unresolved }
+  | _ -> None
+
+let encode_opc_batch (overwrites, stats) =
+  let payload =
+    let b = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer b in
+    Layout.Io.write_shapes ppf
+      (List.map (fun (_, p) -> (Layout.Layer.Poly, p)) overwrites);
+    Format.pp_print_flush ppf ();
+    Buffer.contents b
+  in
+  ( payload,
+    [
+      ( "ids",
+        str (String.concat "," (List.map (fun (i, _) -> string_of_int i) overwrites))
+      );
+      ("stats", Obs.Json.Arr (List.map stats_json stats));
+    ] )
+
+let decode_opc_batch ~payload ~meta =
+  match (member_str "ids" meta, Obs.Json.member "stats" meta) with
+  | Some ids_text, Some (Obs.Json.Arr stats_json) -> (
+      let ids =
+        if ids_text = "" then Some []
+        else
+          String.split_on_char ',' ids_text
+          |> List.map int_of_string_opt
+          |> List.fold_left
+               (fun acc i ->
+                 match (acc, i) with
+                 | Some acc, Some i -> Some (i :: acc)
+                 | _ -> None)
+               (Some [])
+          |> Option.map List.rev
+      in
+      let stats =
+        List.fold_left
+          (fun acc j ->
+            match (acc, stats_of_json j) with
+            | Some acc, Some s -> Some (s :: acc)
+            | _ -> None)
+          (Some []) stats_json
+        |> Option.map List.rev
+      in
+      match (ids, stats) with
+      | Some ids, Some stats -> (
+          match Layout.Io.read_shapes payload with
+          | shapes when List.length shapes = List.length ids ->
+              Some (List.combine ids (List.map snd shapes), stats)
+          | _ -> None
+          | exception _ -> None)
+      | _ -> None)
+  | _ -> None

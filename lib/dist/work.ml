@@ -1,0 +1,181 @@
+(* Execution of one work item against a content-addressed store — the
+   code path shared by [potx worker] child processes and by the
+   coordinator's inline fallback (no live workers / exhausted
+   retries).  Sharing it is what makes the fallback byte-identical to
+   remote execution: both reconstruct flow state from the item's
+   params, compute the shard with the flow's own primitives and
+   round-trip the result through the same exact codecs. *)
+
+module Flow = Timing_opc.Flow
+module Checkpoint = Timing_opc.Checkpoint
+module Shard = Timing_opc.Shard
+
+let ( let* ) = Result.bind
+
+type ctx = {
+  scratch : Checkpoint.t;  (** transport artifacts (chips, masks) *)
+  mutable stores : (string * Checkpoint.t) list;  (** result stores, by dir *)
+  mutable chips : (string * Layout.Chip.t) list;  (** loaded chips, by key *)
+  mutable masks : (string * Opc.Mask.t) list;  (** loaded masks, by key *)
+}
+
+let create ~scratch_dir =
+  {
+    scratch = Checkpoint.create ~dir:scratch_dir ~resume:false;
+    stores = [];
+    chips = [];
+    masks = [];
+  }
+
+let chip_artifact key = "dist.chip." ^ key
+
+let mask_artifact key = "dist.mask." ^ key
+
+let store_for ctx dir =
+  match List.assoc_opt dir ctx.stores with
+  | Some s -> s
+  | None ->
+      let s = Checkpoint.create ~dir ~resume:false in
+      ctx.stores <- (dir, s) :: ctx.stores;
+      s
+
+let load_chip ctx key =
+  match List.assoc_opt key ctx.chips with
+  | Some chip -> Ok chip
+  | None -> (
+      match
+        Checkpoint.try_load ctx.scratch ~name:(chip_artifact key) ~key
+          ~decode:Wire.decode_chip
+      with
+      | Some chip ->
+          ctx.chips <- (key, chip) :: ctx.chips;
+          Ok chip
+      | None -> Error (Printf.sprintf "chip artifact %s missing or stale" key))
+
+let load_mask ctx key =
+  match List.assoc_opt key ctx.masks with
+  | Some mask -> Ok mask
+  | None -> (
+      match
+        Checkpoint.try_load ctx.scratch ~name:(mask_artifact key) ~key
+          ~decode:Wire.decode_mask_only
+      with
+      | Some mask ->
+          ctx.masks <- (key, mask) :: ctx.masks;
+          Ok mask
+      | None -> Error (Printf.sprintf "mask artifact %s missing or stale" key))
+
+(* Gate subsets travel as key lists and are resolved against the
+   chip's gate enumeration in exactly the shipped order, so a
+   coordinator-side partition of an arbitrary caller order reproduces
+   its bytes. *)
+let resolve_subset chip keys =
+  let by_key = Hashtbl.create 256 in
+  List.iter
+    (fun (g : Layout.Chip.gate_ref) ->
+      Hashtbl.replace by_key (Layout.Chip.gate_key g) g)
+    (Layout.Chip.gates chip);
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | k :: rest -> (
+        match Hashtbl.find_opt by_key k with
+        | Some g -> go (g :: acc) rest
+        | None -> Error (Printf.sprintf "unknown gate key %S" k))
+  in
+  go [] keys
+
+(* Run one item to completion: rebuild the flow config, load the
+   inputs, compute this shard with the same flow primitives (and the
+   same fault points) as the in-process path, and save the result
+   under the coordinator-chosen (dir, artifact, key).  Injected faults
+   and any other computation failure come back as [Error] so the
+   caller can acknowledge and let the coordinator's retry machinery
+   decide. *)
+let exec ctx (it : Wire.item) =
+  let* config = Wire.config_of_params it.Wire.params in
+  let config = { config with Flow.shard = it.Wire.count } in
+  Litho.Tile_cache.set_enabled config.Flow.cache;
+  Litho.Aerial.set_engine config.Flow.engine;
+  let* chip = load_chip ctx it.Wire.chip in
+  let litho = Flow.litho_model config in
+  let shards = Flow.shard_plan config litho chip in
+  let* s =
+    if List.length shards <> it.Wire.count then
+      Error
+        (Printf.sprintf "plan has %d shards, item wants %d"
+           (List.length shards) it.Wire.count)
+    else Ok (List.nth shards it.Wire.shard)
+  in
+  let store = store_for ctx it.Wire.dir in
+  match it.Wire.job with
+  | Wire.Opc -> (
+      match
+        Fault.point "opc.correct" (fun () ->
+            let plan = Opc.Chip_opc.plan litho chip ~tile:config.Flow.tile in
+            let tiles = Opc.Chip_opc.tiles plan in
+            Opc.Chip_opc.correct_tiles litho config.Flow.opc_config plan
+              (Shard.split_tiles s tiles))
+      with
+      | batch ->
+          let payload, extra = Wire.encode_opc_batch batch in
+          Checkpoint.save store ~name:it.Wire.artifact ~key:it.Wire.key
+            ~payload ~extra;
+          Ok ()
+      | exception e -> Error (Printexc.to_string e))
+  | Wire.Cds { condition; subset } -> (
+      let* mask_key =
+        match it.Wire.mask with
+        | Some k -> Ok k
+        | None -> Error "cds item without a mask artifact"
+      in
+      let* mask = load_mask ctx mask_key in
+      let* gates =
+        match subset with
+        | None -> Ok s.Shard.gates
+        | Some keys -> resolve_subset chip keys
+      in
+      match
+        Cdex.Extract.extract ~retry:config.Flow.retry litho condition
+          ~mask:(Opc.Mask.source mask) ~gates ~slices:config.Flow.slices
+          ~tile:config.Flow.tile ()
+        |> Flow.add_silicon_noise config
+      with
+      | cds ->
+          let payload, extra = Flow.encode_cds cds in
+          Checkpoint.save store ~name:it.Wire.artifact ~key:it.Wire.key
+            ~payload ~extra;
+          Ok ()
+      | exception e -> Error (Printexc.to_string e))
+
+(* Coordinator-side helpers: publish a transport artifact (idempotent
+   per content key) and load a result artifact back. *)
+
+let publish_chip ctx chip =
+  let key = Flow.chip_digest chip in
+  if not (List.mem_assoc key ctx.chips) then begin
+    let payload, extra = Wire.encode_chip chip in
+    Checkpoint.save ctx.scratch ~name:(chip_artifact key) ~key ~payload ~extra;
+    ctx.chips <- (key, chip) :: ctx.chips
+  end;
+  key
+
+let publish_mask ctx mask =
+  let text = Flow.mask_text mask in
+  let key = Digest.to_hex (Digest.string text) in
+  if not (List.mem_assoc key ctx.masks) then begin
+    Checkpoint.save ctx.scratch ~name:(mask_artifact key) ~key ~payload:text
+      ~extra:[];
+    ctx.masks <- (key, mask) :: ctx.masks
+  end;
+  key
+
+let load_result ctx decode (it : Wire.item) =
+  match
+    Checkpoint.try_load (store_for ctx it.Wire.dir) ~name:it.Wire.artifact
+      ~key:it.Wire.key ~decode
+  with
+  | Some v -> Ok v
+  | None ->
+      Error
+        (Printf.sprintf "result artifact %s (key %s) missing or stale"
+           it.Wire.artifact it.Wire.key)

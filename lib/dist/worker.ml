@@ -1,0 +1,91 @@
+(* The [potx worker] child-process loop: JSONL work items on stdin,
+   acknowledgement lines on stdout (the Serve.Server shape — read a
+   line, handle, print exactly one reply, flush), results through the
+   shared content-addressed store.  stdout carries protocol lines
+   only; diagnostics belong on stderr, which the coordinator leaves
+   connected to its own.
+
+   A malformed or truncated item line is acknowledged with a [failed]
+   reply and the loop keeps serving — a bad line must never wedge the
+   coordinator.  EOF on stdin is the normal shutdown. *)
+
+let out line =
+  print_string line;
+  print_newline ();
+  flush stdout
+
+(* Each worker carries an index-named fault point,
+   [dist.worker<index>.crash]: when an installed plan fires it, the
+   process exits abruptly mid-item, without acknowledging — the
+   deterministic stand-in for an OOM-kill that the reassignment tests
+   drive.  (Hit counters are per process, so [fail1] kills each
+   matching worker at most once.) *)
+let crash_point index = Printf.sprintf "dist.worker%d.crash" index
+
+let run ?faults ~store ~index () =
+  (match faults with
+  | None -> ()
+  | Some spec -> (
+      match Fault.parse spec with
+      | Ok plan -> Fault.set_plan (Some plan)
+      | Error e ->
+          Printf.eprintf "potx worker: bad fault spec %S: %s\n%!" spec e;
+          exit 2));
+  let ctx = Work.create ~scratch_dir:store in
+  let crash = crash_point index in
+  out (Wire.reply_to_line Wire.Ready);
+  let rec loop () =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line ->
+        if String.trim line = "" then loop ()
+        else begin
+          (match Wire.item_of_line line with
+          | Error e -> out (Wire.reply_to_line (Wire.Failed (None, e)))
+          | Ok item -> (
+              match Fault.point crash (fun () -> Work.exec ctx item) with
+              | Ok () -> out (Wire.reply_to_line (Wire.Done item.Wire.id))
+              | Error e ->
+                  out
+                    (Wire.reply_to_line
+                       (Wire.Failed (Some item.Wire.id, e)))
+              | exception Fault.Injected p when String.equal p crash ->
+                  (* Simulated mid-shard kill: die without a reply. *)
+                  exit 3
+              | exception e ->
+                  out
+                    (Wire.reply_to_line
+                       (Wire.Failed (Some item.Wire.id, Printexc.to_string e)))));
+          loop ()
+        end
+  in
+  loop ()
+
+(* Self-hosting entry hook: both potx and the bench binary call this
+   first thing in main, so any binary that embeds the flow can be its
+   own worker executable ([Backend] spawns [Sys.executable_name]).
+   Only intercepts the exact spawn shape ([worker] with a [--store]),
+   leaving [potx worker --help] to the cmdliner command. *)
+let exec_if_requested () =
+  let argv = Sys.argv in
+  let value flag =
+    let r = ref None in
+    Array.iteri
+      (fun i a ->
+        if String.equal a flag && i + 1 < Array.length argv then
+          r := Some argv.(i + 1))
+      argv;
+    !r
+  in
+  if
+    Array.length argv >= 2
+    && String.equal argv.(1) "worker"
+    && value "--store" <> None
+  then begin
+    let store = Option.get (value "--store") in
+    let index =
+      Option.value ~default:0 (Option.bind (value "--index") int_of_string_opt)
+    in
+    run ?faults:(value "--faults") ~store ~index ();
+    exit 0
+  end

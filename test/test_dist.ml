@@ -1,0 +1,263 @@
+(* Distributed-execution identity contract: a flow run dispatched to
+   any number of worker processes is byte-identical to the in-process
+   run — for any shard count, any domain count, through a worker
+   crashed mid-shard (reassignment), and through checkpoints written
+   by one worker count and resumed by another.  Plus the wire
+   protocol's torture cases: malformed and truncated work-item lines
+   must be rejected with a [failed] reply, never wedge the loop.
+
+   Workers are real child processes of the real binary: the backend
+   spawns ../bin/potx.exe (a dune dep of this test), exactly as
+   [potx run --workers N] does. *)
+
+module F = Timing_opc.Flow
+module IH = Identity_helpers
+
+let checkb = Alcotest.(check bool)
+
+let checki = Alcotest.(check int)
+
+let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name)
+
+(* The test binary's main is alcotest, so it cannot re-enter as a
+   worker; spawn the CLI, which can. *)
+let potx_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/potx.exe"
+
+let with_backend ~workers f =
+  if workers = 0 then f None
+  else begin
+    let b = Dist.Backend.create ~exe:potx_exe ~workers () in
+    Fun.protect
+      ~finally:(fun () -> Dist.Backend.shutdown b)
+      (fun () -> f (Some (Dist.Backend.flow_backend b)))
+  end
+
+let run_with ?(tile = 1500) ?(shard = 1) ?(domains = 1) ?checkpoint ~workers
+    nl_idx =
+  with_backend ~workers @@ fun dist ->
+  let config =
+    { (IH.base_config ~tile ~shard ~domains ()) with F.dist; checkpoint }
+  in
+  F.run config (IH.netlist_of nl_idx)
+
+(* ---- the shard x workers x domains identity matrix ---- *)
+
+let test_matrix () =
+  let completed0 = counter "dist.completed" in
+  List.iter
+    (fun nl_idx ->
+      List.iter
+        (fun workers ->
+          List.iter
+            (fun shard ->
+              let r = run_with ~shard ~workers nl_idx in
+              IH.check_identical ~tile:1500
+                ~what:
+                  (Printf.sprintf "netlist=%d workers=%d shard=%d" nl_idx
+                     workers shard)
+                nl_idx r)
+            [ 1; 4 ])
+        [ 0; 1; 2; 4 ])
+    [ 0; 2 ];
+  checkb "distributed cells really dispatched" true
+    (counter "dist.completed" - completed0 > 0)
+
+let prop_distributed_identical =
+  let arb =
+    QCheck.make
+      ~print:(fun (nl, shard, workers, domains) ->
+        Printf.sprintf "netlist=%d shard=%d workers=%d domains=%d" nl shard
+          workers domains)
+      QCheck.Gen.(
+        quad (int_range 0 3)
+          (oneofl [ 1; 2; 4; 8 ])
+          (oneofl [ 0; 1; 2; 4 ])
+          (oneofl [ 1; 2 ]))
+  in
+  QCheck.Test.make ~name:"distributed run = in-process run" ~count:6 arb
+    (fun (nl_idx, shard, workers, domains) ->
+      let r = run_with ~shard ~domains ~workers nl_idx in
+      let base_render, base_mask = IH.baseline ~tile:1500 nl_idx in
+      IH.render_run r = base_render
+      && Opc.Mask.polygons r.F.mask = base_mask)
+
+(* ---- crash mid-shard: retire, reassign, same bytes ---- *)
+
+let test_worker_crash () =
+  let reassigned0 = counter "dist.reassigned" in
+  let plan =
+    match Fault.parse "dist.worker1.crash=fail1" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  Fun.protect ~finally:(fun () -> Fault.set_plan None) @@ fun () ->
+  Fault.set_plan (Some plan);
+  let r = run_with ~shard:4 ~workers:2 0 in
+  IH.check_identical ~tile:1500 ~what:"crash mid-shard" 0 r;
+  checkb "the crashed shard was reassigned" true
+    (counter "dist.reassigned" - reassigned0 >= 1)
+
+(* Killing every worker leaves only the inline fallback — which must
+   still produce the bytes. *)
+let test_all_workers_crash () =
+  let inline0 = counter "dist.inline" in
+  let plan =
+    match Fault.parse "dist.worker0.crash=fail1;dist.worker1.crash=fail1" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  Fun.protect ~finally:(fun () -> Fault.set_plan None) @@ fun () ->
+  Fault.set_plan (Some plan);
+  let r = run_with ~shard:4 ~workers:2 0 in
+  IH.check_identical ~tile:1500 ~what:"whole pool crashed" 0 r;
+  checkb "survivor-less batch computed inline" true
+    (counter "dist.inline" - inline0 >= 1)
+
+(* ---- checkpoint interop: written under workers, resumed without ---- *)
+
+let test_checkpoint_interop () =
+  let dir = Filename.temp_file "potx_dist_ckpt" "" in
+  Sys.remove dir;
+  let ck resume = Timing_opc.Checkpoint.create ~dir ~resume in
+  let written = run_with ~shard:4 ~workers:2 ~checkpoint:(ck false) 0 in
+  IH.check_identical ~tile:1500 ~what:"checkpointing distributed run" 0 written;
+  let loaded0 = counter "flow.checkpoint.loaded" in
+  let resumed = run_with ~shard:4 ~workers:0 ~checkpoint:(ck true) 0 in
+  IH.check_identical ~tile:1500 ~what:"worker-written checkpoint resume" 0
+    resumed;
+  checkb "worker-written stages loaded in-process" true
+    (counter "flow.checkpoint.loaded" - loaded0 > 0);
+  (* And the reverse: resumed under workers, loaded by the coordinator. *)
+  let loaded1 = counter "flow.checkpoint.loaded" in
+  let re2 = run_with ~shard:4 ~workers:2 ~checkpoint:(ck true) 0 in
+  IH.check_identical ~tile:1500 ~what:"distributed resume" 0 re2;
+  checkb "coordinator loaded the stages itself" true
+    (counter "flow.checkpoint.loaded" - loaded1 > 0)
+
+(* ---- protocol torture: malformed and truncated item lines ---- *)
+
+let garbage_lines =
+  [
+    "this is not json";
+    "{";
+    "{\"id\":\"7\",\"shard\":";  (* truncated mid-object *)
+    "{\"id\":\"3\"}";  (* well-formed JSON, missing every field *)
+    "{\"id\":\"1\",\"shard\":\"5\",\"count\":\"2\",\"chip\":\"k\",\"dir\":\"d\",\"artifact\":\"a\",\"key\":\"k\",\"job\":\"opc\",\"params\":{}}";
+      (* shard out of range for count *)
+    "[]";
+  ]
+
+let test_item_rejection () =
+  List.iter
+    (fun line ->
+      match Dist.Wire.item_of_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage item line %S" line)
+    garbage_lines;
+  (* Malformed replies must read as protocol breaches, not crashes. *)
+  List.iter
+    (fun line ->
+      match Dist.Wire.reply_of_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage reply line %S" line)
+    [ "nope"; "{\"type\":\"elephant\"}"; "{\"type\":\"done\"}" ]
+
+(* Feed a live worker process garbage between real EOF: every bad
+   line must produce exactly one [failed] reply and the loop must
+   keep serving (EOF still exits 0). *)
+let test_worker_survives_garbage () =
+  let dir = Filename.temp_file "potx_dist_store" "" in
+  Sys.remove dir;
+  let from_w, to_w =
+    Unix.open_process_args potx_exe
+      [| potx_exe; "worker"; "--store"; dir; "--index"; "0" |]
+  in
+  let reply () =
+    match Dist.Wire.reply_of_line (input_line from_w) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "unparseable worker reply: %s" e
+  in
+  checkb "worker greets ready" true (reply () = Dist.Wire.Ready);
+  List.iter
+    (fun line ->
+      output_string to_w (line ^ "\n");
+      flush to_w;
+      match reply () with
+      | Dist.Wire.Failed (None, _) -> ()
+      | r ->
+          Alcotest.failf "line %S: want failed-with-no-id, got %s" line
+            (Dist.Wire.reply_to_line r))
+    garbage_lines;
+  close_out to_w;
+  match Unix.close_process (from_w, to_w) with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "worker did not exit cleanly after EOF"
+
+(* ---- wire codecs round-trip ---- *)
+
+let test_wire_roundtrip () =
+  let config = IH.base_config ~shard:4 () in
+  let chip = F.place config (IH.netlist_of 2) in
+  (* Chip transport reproduces the placement exactly. *)
+  let payload, extra = Dist.Wire.encode_chip chip in
+  (match Dist.Wire.decode_chip ~payload ~meta:(Obs.Json.Obj extra) with
+  | None -> Alcotest.fail "chip payload did not decode"
+  | Some chip' ->
+      Alcotest.(check string)
+        "chip digest survives transport" (F.chip_digest chip)
+        (F.chip_digest chip'));
+  (* Item lines round-trip structurally. *)
+  let item =
+    {
+      Dist.Wire.id = 7;
+      shard = 1;
+      count = 4;
+      chip = "ck";
+      mask = Some "mk";
+      dir = "/tmp/x";
+      artifact = "cds.s2of4";
+      key = "key";
+      job =
+        Dist.Wire.Cds
+          {
+            condition = Litho.Condition.make ~dose:1.02 ~defocus:70.0;
+            subset = Some [ "g1"; "g2" ];
+          };
+      params = Dist.Wire.params_of_config config;
+    }
+  in
+  (match Dist.Wire.item_of_line (Dist.Wire.item_to_line item) with
+  | Error e -> Alcotest.failf "item did not round-trip: %s" e
+  | Ok item' -> checkb "item round-trips" true (item = item'));
+  (* Params rebuild an equivalent worker-side config: same content
+     keys, which is all the protocol relies on. *)
+  match Dist.Wire.config_of_params (Dist.Wire.params_of_config config) with
+  | Error e -> Alcotest.failf "params did not round-trip: %s" e
+  | Ok config' ->
+      Alcotest.(check string)
+        "opc content key survives params transport"
+        (F.opc_key config ~extra:"x" chip)
+        (F.opc_key { config' with F.shard = config.F.shard } ~extra:"x" chip);
+      checki "worker-side shard starts monolithic" 1 config'.F.shard
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "shard x workers matrix" `Slow test_matrix;
+          QCheck_alcotest.to_alcotest prop_distributed_identical;
+          Alcotest.test_case "worker crash mid-shard" `Slow test_worker_crash;
+          Alcotest.test_case "whole pool crashes" `Slow test_all_workers_crash;
+          Alcotest.test_case "checkpoint interop" `Slow test_checkpoint_interop;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "garbage item lines rejected" `Quick
+            test_item_rejection;
+          Alcotest.test_case "worker survives garbage" `Quick
+            test_worker_survives_garbage;
+          Alcotest.test_case "wire codecs round-trip" `Quick test_wire_roundtrip;
+        ] );
+    ]

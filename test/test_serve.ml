@@ -19,17 +19,8 @@ let checks = Alcotest.(check string)
 
 let check_ps what = Alcotest.(check (float 1e-6)) what
 
-let base_config ?(domains = 1) () =
-  let c = F.default_config () in
-  {
-    c with
-    F.opc_config = { c.F.opc_config with Opc.Model_opc.iterations = 2 };
-    slices = 3;
-    tile = 1500;
-    domains;
-    retry = Fault.no_retry;
-    checkpoint = None;
-  }
+(* The same reduced config as test_shard, via the shared kit. *)
+let base_config ?domains () = Identity_helpers.base_config ?domains ()
 
 let session_for =
   let cache = Hashtbl.create 4 in

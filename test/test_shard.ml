@@ -13,53 +13,18 @@ let checki = Alcotest.(check int)
 
 let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name)
 
-(* tile=1500 splits the c17 die into ~5 bucket columns, so shard
-   counts up to 8 exercise real partitions (and empty strips) on a
-   netlist small enough to run dozens of times. *)
-let base_config ?(tile = 1500) ?(shard = 1) ?(domains = 1) () =
-  let c = F.default_config () in
-  {
-    c with
-    F.opc_config = { c.F.opc_config with Opc.Model_opc.iterations = 2 };
-    slices = 3;
-    tile;
-    shard;
-    domains;
-    retry = Fault.no_retry;
-    checkpoint = None;
-  }
+(* The reduced config, exact renderings and monolithic-baseline
+   comparison live in Identity_helpers, shared with test_serve,
+   test_ssta and test_dist. *)
+let base_config = Identity_helpers.base_config
 
-let render (r : F.run) =
-  Format.asprintf "%a@.%a@.%a@.%a@."
-    (fun ppf cds -> Cdex.Csv.write ~exact:true ppf cds)
-    r.F.cds Opc.Model_opc.pp_stats r.F.opc_stats Sta.Timing.pp_summary
-    r.F.drawn_sta Sta.Timing.pp_summary r.F.post_opc_sta
+let render = Identity_helpers.render_run
 
-let netlist_of = function
-  | 0 -> Circuit.Generator.c17 ()
-  | 1 -> Circuit.Generator.inv_chain 5
-  | n ->
-      Circuit.Generator.random_logic
-        (Stats.Rng.create (1000 + n))
-        ~levels:3 ~width:3
+let netlist_of = Identity_helpers.netlist_of
 
-(* Monolithic baselines, one flow run per (netlist, tile). *)
-let baselines : (int * int, string * Geometry.Polygon.t list) Hashtbl.t =
-  Hashtbl.create 8
+let baseline = Identity_helpers.baseline
 
-let baseline ~tile nl_idx =
-  match Hashtbl.find_opt baselines (nl_idx, tile) with
-  | Some b -> b
-  | None ->
-      let r = F.run (base_config ~tile ()) (netlist_of nl_idx) in
-      let b = (render r, Opc.Mask.polygons r.F.mask) in
-      Hashtbl.add baselines (nl_idx, tile) b;
-      b
-
-let check_identical ~tile ~what nl_idx (r : F.run) =
-  let base_render, base_mask = baseline ~tile nl_idx in
-  checkb (what ^ ": records/stats/sta identical") true (render r = base_render);
-  checkb (what ^ ": mask identical") true (Opc.Mask.polygons r.F.mask = base_mask)
+let check_identical = Identity_helpers.check_identical
 
 let test_shard_counts () =
   (* Sanity: the plan really is a multi-strip partition at this tile. *)

@@ -299,14 +299,7 @@ let criticality_sums_to_one =
 
 (* ---- Closed-form determinism across domains / shard / cache ---- *)
 
-let cheap_config () =
-  let c = Timing_opc.Flow.default_config () in
-  {
-    c with
-    Timing_opc.Flow.opc_config =
-      { c.Timing_opc.Flow.opc_config with Opc.Model_opc.iterations = 4 };
-    slices = 5;
-  }
+let cheap_config = Identity_helpers.cheap_config
 
 (* A 2x2 window keeps the extraction sweep cheap. *)
 let window =
@@ -314,12 +307,7 @@ let window =
 
 let base_run = lazy (Timing_opc.Flow.run (cheap_config ()) (Circuit.Generator.c17 ()))
 
-let render (v : Timing_opc.Flow.ssta_view) =
-  Format.asprintf "%a@.%a@.%a"
-    Sta.Ssta.pp_fit v.Timing_opc.Flow.fit Sta.Ssta.pp_summary
-    v.Timing_opc.Flow.ssta
-    (Format.pp_print_list Sta.Ssta.pp_endpoint)
-    v.Timing_opc.Flow.ssta.Sta.Ssta.endpoints
+let render = Identity_helpers.render_ssta
 
 let test_ssta_bytes_stable_across_domains () =
   let r = Lazy.force base_run in
